@@ -1,0 +1,1 @@
+bench/main.ml: List Micro Printf Sys Terradir_experiments Unix

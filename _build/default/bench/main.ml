@@ -1,0 +1,61 @@
+(* Benchmark harness:
+
+   1. Bechamel micro-benchmarks of the protocol's hot operations.
+   2. Regeneration of every table and figure in the paper's evaluation
+      (§4), at a configurable scale.
+
+   The default scale is 1/32 of the paper's 4096-server testbed so the
+   whole suite completes in minutes; set TERRADIR_BENCH_SCALE (e.g. 0.125)
+   to run closer to paper scale, and TERRADIR_BENCH_SEED to vary runs.
+   Per-server utilization — the quantity behind every result — is
+   preserved by the scaling (see Experiments.Common). *)
+
+module E = Terradir_experiments
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+
+let scale = getenv_float "TERRADIR_BENCH_SCALE" (1.0 /. 32.0)
+
+let seed = getenv_int "TERRADIR_BENCH_SEED" 42
+
+(* Durations in simulated seconds: compressed relative to the paper's
+   250 s (Figs. 3–6) and 10000 s (Fig. 8) horizons so the whole suite
+   finishes in minutes — each series still contains the warmup, multiple
+   popularity shifts, and (for Fig. 8) an unambiguous decay tail.  Pass a
+   larger TERRADIR_BENCH_SCALE and edit here for paper-scale runs. *)
+let figures =
+  [
+    ("table1", fun () -> E.Table1.print (E.Table1.run ~scale ~seed ()));
+    ("fig3", fun () -> E.Fig3.print (E.Fig3.run ~scale ~duration:180.0 ~seed ()));
+    ("fig4", fun () -> E.Fig4.print (E.Fig4.run ~scale ~duration:180.0 ~seed ()));
+    ("fig5", fun () -> E.Fig5.print (E.Fig5.run ~scale ~duration:100.0 ~seed ()));
+    ("fig6", fun () -> E.Fig6.print (E.Fig6.run ~scale ~duration:180.0 ~seed ()));
+    ("fig7", fun () -> E.Fig7.print (E.Fig7.run ~scale ~duration:120.0 ~seed ()));
+    ("fig8", fun () -> E.Fig8.print (E.Fig8.run ~scale ~duration:480.0 ~seed ()));
+    ("fig9", fun () -> E.Fig9.print (E.Fig9.run ~scale ~duration:80.0 ~seed ()));
+    ("rfact", fun () -> E.Rfact.print (E.Rfact.run ~scale ~duration:120.0 ~seed ()));
+    ("ablations", fun () -> E.Ablations.print (E.Ablations.run ~scale ~duration:100.0 ~seed ()));
+    ("hetero", fun () -> E.Hetero.print (E.Hetero.run ~scale ~duration:110.0 ~seed ()));
+  ]
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "TerraDir soft-state replication benchmark suite (scale=%.4f, seed=%d)\n\n%!"
+    scale seed;
+  Micro.run ();
+  List.iter
+    (fun (id, run) ->
+      let start = Unix.gettimeofday () in
+      Printf.printf "\n===== %s =====\n%!" id;
+      run ();
+      Printf.printf "[%s completed in %.1fs wall]\n%!" id (Unix.gettimeofday () -. start))
+    figures;
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,187 @@
+(* terradir_sim: command-line driver for the TerraDir reproduction.
+
+   Subcommands:
+     list            enumerate the paper's experiments
+     run <id>        regenerate one table/figure (at a chosen scale)
+     all             regenerate everything
+     custom          free-form simulation with explicit knobs *)
+
+open Cmdliner
+open Terradir
+open Terradir_util
+open Terradir_workload
+module Experiments = Terradir_experiments
+
+let scale_arg =
+  let doc =
+    "Scale relative to the paper's 4096-server testbed (0 < scale <= 1). Default 1/16."
+  in
+  Arg.(value & opt float (1.0 /. 16.0) & info [ "scale" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic simulation seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper's experiments") Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see list)")
+  in
+  let csv_arg =
+    let doc = "Write plot-ready CSV files to $(docv) instead of printing tables." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  in
+  let run id scale seed csv =
+    match (Experiments.Registry.find id, csv) with
+    | None, _ ->
+      Printf.eprintf "unknown experiment %S; try: %s\n" id
+        (String.concat " " (Experiments.Registry.ids ()));
+      exit 1
+    | Some _, Some dir when List.mem id Experiments.Csv_export.exportable ->
+      List.iter print_endline (Experiments.Csv_export.export ~id ~scale ~seed ~dir ())
+    | Some _, Some _ ->
+      Printf.eprintf "%s has no CSV form (try: %s)\n" id
+        (String.concat " " Experiments.Csv_export.exportable);
+      exit 1
+    | Some e, None -> e.Experiments.Registry.run ~scale ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate one table/figure")
+    Term.(const run $ id_arg $ scale_arg $ seed_arg $ csv_arg)
+
+(* ---- all ---- *)
+
+let all_cmd =
+  let run scale seed =
+    List.iter
+      (fun e ->
+        Printf.printf "\n===== %s — %s =====\n" e.Experiments.Registry.id
+          e.Experiments.Registry.title;
+        e.Experiments.Registry.run ~scale ~seed ())
+      Experiments.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure")
+    Term.(const run $ scale_arg $ seed_arg)
+
+(* ---- custom ---- *)
+
+let custom_cmd =
+  let servers =
+    Arg.(value & opt int 256 & info [ "servers" ] ~docv:"N" ~doc:"Number of servers")
+  in
+  let namespace =
+    let doc = "Namespace: 'balanced:LEVELS' or 'coda:NODES'." in
+    Arg.(value & opt string "balanced:11" & info [ "namespace" ] ~docv:"NS" ~doc)
+  in
+  let rate = Arg.(value & opt float 1000.0 & info [ "rate" ] ~docv:"Q/S" ~doc:"Global query rate") in
+  let duration = Arg.(value & opt float 60.0 & info [ "duration" ] ~docv:"SEC" ~doc:"Run length") in
+  let alpha =
+    Arg.(value & opt (some float) None & info [ "zipf" ] ~docv:"ALPHA" ~doc:"Zipf order (uniform if absent)")
+  in
+  let shifts =
+    Arg.(value & opt int 0 & info [ "shifts" ] ~docv:"K" ~doc:"Instant popularity re-rankings")
+  in
+  let system =
+    let doc = "Feature set: B (base), BC (caching), BCR (full)." in
+    Arg.(value & opt string "BCR" & info [ "system" ] ~docv:"SYS" ~doc)
+  in
+  let run servers namespace rate duration alpha shifts system seed =
+    let tree =
+      match String.split_on_char ':' namespace with
+      | [ "balanced"; levels ] -> Terradir_namespace.Build.balanced ~arity:2 ~levels:(int_of_string levels)
+      | [ "coda"; nodes ] -> Terradir_namespace.Build.coda_like ~seed ~target:(int_of_string nodes) ()
+      | _ -> failwith "namespace must be balanced:LEVELS or coda:NODES"
+    in
+    let features =
+      match String.uppercase_ascii system with
+      | "B" -> Config.base
+      | "BC" -> Config.bc
+      | "BCR" -> Config.bcr
+      | "BCR-NODIGEST" -> { Config.bcr with Config.digests = false }
+      | _ -> failwith "system must be B, BC, BCR or BCR-nodigest"
+    in
+    let config = { Config.default with Config.num_servers = servers; features; seed } in
+    let cluster = Cluster.create ~config ~tree () in
+    let phases =
+      match alpha with
+      | None -> Stream.unif ~rate ~duration
+      | Some alpha ->
+        if shifts = 0 then
+          [ { Stream.duration; rate; dist = Stream.Zipf { alpha; reshuffle = true } } ]
+        else
+          Stream.uzipf ~rate ~warmup:(duration /. 5.0) ~alpha
+            ~shift_every:(duration *. 0.8 /. float_of_int shifts)
+            ~shifts
+    in
+    Scenario.run cluster ~phases ~seed:(seed + 1);
+    Printf.printf "namespace: %s\n" (Terradir_namespace.Build.describe tree);
+    Tablefmt.print ~header:[ "metric"; "value" ]
+      (List.map (fun (k, v) -> [ k; v ]) (Metrics.summary_rows cluster.Cluster.metrics));
+    Printf.printf "engine events executed: %d\n"
+      (Terradir_sim.Engine.events_executed cluster.Cluster.engine)
+  in
+  Cmd.v
+    (Cmd.info "custom" ~doc:"Run a custom simulation")
+    Term.(const run $ servers $ namespace $ rate $ duration $ alpha $ shifts $ system $ seed_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let namespace =
+    Arg.(value & opt string "balanced:6" & info [ "namespace" ] ~docv:"NS" ~doc:"balanced:LEVELS or coda:NODES")
+  in
+  let servers = Arg.(value & opt int 16 & info [ "servers" ] ~docv:"N" ~doc:"Number of servers") in
+  let warm =
+    Arg.(value & opt float 0.0 & info [ "warm" ] ~docv:"SEC" ~doc:"Warm with Zipf traffic for this long first")
+  in
+  let from_arg = Arg.(value & opt int 0 & info [ "from" ] ~docv:"SERVER" ~doc:"Source server") in
+  let to_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"Destination name, e.g. /0/1/0")
+  in
+  let run namespace servers warm from_ to_ seed =
+    let tree =
+      match String.split_on_char ':' namespace with
+      | [ "balanced"; levels ] ->
+        Terradir_namespace.Build.balanced ~arity:2 ~levels:(int_of_string levels)
+      | [ "coda"; nodes ] -> Terradir_namespace.Build.coda_like ~seed ~target:(int_of_string nodes) ()
+      | _ -> failwith "namespace must be balanced:LEVELS or coda:NODES"
+    in
+    let config = { Config.default with Config.num_servers = servers; seed } in
+    let cluster = Cluster.create ~config ~tree () in
+    if warm > 0.0 then
+      Scenario.run cluster
+        ~phases:
+          [
+            {
+              Stream.duration = warm;
+              rate = 25.0 *. float_of_int servers;
+              dist = Stream.Zipf { alpha = 1.1; reshuffle = true };
+            };
+          ]
+        ~seed:(seed + 1);
+    match Terradir_namespace.Tree.find_string tree to_ with
+    | None ->
+      Printf.eprintf "no such node: %s\n" to_;
+      exit 1
+    | Some dst -> print_string (Trace.to_string cluster (Trace.route cluster ~src:from_ ~dst))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace the route a lookup would take right now (cf. paper Figs. 1-2)")
+    Term.(const run $ namespace $ servers $ warm $ from_arg $ to_arg $ seed_arg)
+
+let () =
+  let doc = "TerraDir hierarchical routing with soft-state replicas (IPDPS 2004) - simulator" in
+  let info = Cmd.info "terradir_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; custom_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/failure_resilience.ml: Array Build Cluster Config Fun List Metrics Printf Scenario Server Stream Terradir Terradir_namespace Terradir_sim Terradir_util Terradir_workload Timeseries

@@ -1,0 +1,1 @@
+examples/filesystem_directory.ml: Array Build Cluster Config List Metrics Printf Scenario Search Server Stats Stream Terradir Terradir_namespace Terradir_util Terradir_workload Trace Tree

@@ -1,0 +1,1 @@
+examples/hotspot_flash_crowd.ml: Array Build Cluster Config List Metrics Printf Scenario Stats Stream Terradir Terradir_namespace Terradir_util Terradir_workload Timeseries

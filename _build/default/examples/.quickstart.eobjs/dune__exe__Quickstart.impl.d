@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Build Cluster Config List Metrics Printf Scenario Server Stream String Tablefmt Terradir Terradir_namespace Terradir_util Terradir_workload Tree

@@ -1,0 +1,61 @@
+(* Quickstart: build a namespace, start a simulated TerraDir deployment,
+   run a query stream against it, and read the results.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Terradir_util
+open Terradir_namespace
+open Terradir
+open Terradir_workload
+
+let () =
+  (* 1. A namespace: a perfectly balanced binary tree with levels 0..9
+        (1023 nodes).  Real deployments would use Build.of_paths or
+        Build.coda_like. *)
+  let tree = Build.balanced ~arity:2 ~levels:9 in
+  Printf.printf "namespace: %s\n" (Build.describe tree);
+
+  (* 2. A cluster of 64 servers with the full protocol (caching +
+        replication + digests). *)
+  let config = { Config.default with Config.num_servers = 64; seed = 7 } in
+  let cluster = Cluster.create ~config ~tree () in
+  Printf.printf "servers: %d, owned nodes/server ~ %.1f\n" (Cluster.num_servers cluster)
+    (float_of_int (Tree.size tree) /. float_of_int (Cluster.num_servers cluster));
+
+  (* 3. Drive it: 20 simulated seconds of uniform lookups, then 20 seconds
+        of heavily skewed (Zipf 1.2) lookups — watch replication absorb the
+        hot-spot. *)
+  let rate = 400.0 in
+  let phases =
+    Stream.unif ~rate ~duration:20.0
+    @ [ { Stream.duration = 20.0; rate; dist = Stream.Zipf { alpha = 1.2; reshuffle = true } } ]
+  in
+  Scenario.run cluster ~phases ~seed:11;
+
+  (* 4. Results. *)
+  let m = cluster.Cluster.metrics in
+  print_endline "\n== run summary ==";
+  Tablefmt.print ~header:[ "metric"; "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) (Metrics.summary_rows m));
+
+  Printf.printf "\nreplicas now hosted: %d\n" (Cluster.total_replicas cluster);
+  let per_level = Cluster.replicas_per_level cluster `Current in
+  print_endline "avg replicas per node, by namespace level:";
+  Array.iteri (fun d avg -> Printf.printf "  level %2d: %.2f\n" d avg) per_level;
+
+  (* 5. Name-level API: look up where a node lives. *)
+  let name = "/0/1/0" in
+  (match Tree.find_string tree name with
+  | None -> Printf.printf "%s: not in namespace\n" name
+  | Some node ->
+    let owner = cluster.Cluster.owner_of.(node) in
+    let hosts =
+      Array.to_list cluster.Cluster.servers
+      |> List.filter (fun s -> Server.hosts s node)
+      |> List.map (fun s -> s.Server.id)
+    in
+    Printf.printf "\n%s -> node %d, owner server %d, hosts now: [%s]\n" name node owner
+      (String.concat "; " (List.map string_of_int hosts)));
+
+  Cluster.check_invariants cluster;
+  print_endline "invariants: OK"

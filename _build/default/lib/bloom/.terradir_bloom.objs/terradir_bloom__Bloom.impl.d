@@ -1,0 +1,1 @@
+lib/bloom/bloom.ml: Bitset Int64 List Terradir_util

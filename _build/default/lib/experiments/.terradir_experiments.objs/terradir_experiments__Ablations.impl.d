@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Cluster Common Config Fun List Metrics Printf Scenario Static_replication Stats Tablefmt Terradir Terradir_util Terradir_workload

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Build Cluster Config Float Lazy List Load_meter Server Stream Terradir Terradir_namespace Terradir_sim Terradir_util Terradir_workload Timeseries Tree

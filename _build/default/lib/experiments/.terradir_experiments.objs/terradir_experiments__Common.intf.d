@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Terradir Terradir_namespace Terradir_util Terradir_workload

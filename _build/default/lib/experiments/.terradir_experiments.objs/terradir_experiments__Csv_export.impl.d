@@ -1,0 +1,1 @@
+lib/experiments/csv_export.ml: Ablations Array Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 Filename Hetero List Out_channel Printf Rfact Sys Tablefmt Terradir_util

@@ -1,0 +1,1 @@
+lib/experiments/csv_export.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Cluster Common Float List Metrics Printf Runner Tablefmt Terradir Terradir_util

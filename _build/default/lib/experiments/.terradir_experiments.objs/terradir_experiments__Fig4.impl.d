@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Cluster Common List Metrics Printf Runner Tablefmt Terradir Terradir_util

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Cluster Common Config Float List Metrics Runner Tablefmt Terradir Terradir_util

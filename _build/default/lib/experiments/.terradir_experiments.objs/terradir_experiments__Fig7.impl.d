@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Cluster Common List Printf Runner Tablefmt Terradir Terradir_util

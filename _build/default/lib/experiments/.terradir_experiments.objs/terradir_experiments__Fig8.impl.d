@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Cluster Common List Metrics Runner Stream Tablefmt Terradir Terradir_util Terradir_workload Timeseries

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Cluster Common Config List Metrics Runner Stats Tablefmt Terradir Terradir_namespace Terradir_util

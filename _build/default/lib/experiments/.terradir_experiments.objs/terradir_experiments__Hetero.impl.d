@@ -1,0 +1,1 @@
+lib/experiments/hetero.ml: Array Cluster Common Config List Metrics Printf Runner Stats Tablefmt Terradir Terradir_util Timeseries

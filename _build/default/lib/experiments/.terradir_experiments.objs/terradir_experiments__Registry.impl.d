@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 Hetero List Rfact Table1

@@ -1,0 +1,1 @@
+lib/experiments/rfact.ml: Cluster Common Config List Metrics Printf Runner Tablefmt Terradir Terradir_util

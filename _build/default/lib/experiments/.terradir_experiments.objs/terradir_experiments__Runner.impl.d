@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Common Config List Printf Scenario Terradir Terradir_workload

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Build Cluster Config List Printf Scenario Server Stream String Tablefmt Terradir Terradir_namespace Terradir_util Terradir_workload

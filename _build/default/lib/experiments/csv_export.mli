@@ -1,0 +1,13 @@
+(** Plot-ready CSV export for every experiment.
+
+    Each experiment id writes one or more CSV files (gnuplot/pandas
+    friendly) with exactly the series/rows its [print] function shows. *)
+
+val export :
+  id:string -> ?scale:float -> ?seed:int -> dir:string -> unit -> string list
+(** [export ~id ~dir ()] runs the experiment and writes its CSVs under
+    [dir] (created if missing); returns the paths written.
+    @raise Invalid_argument on an unknown experiment id. *)
+
+val exportable : string list
+(** Ids accepted by {!export}. *)

@@ -1,0 +1,53 @@
+(** Figure 3: fraction of queries dropped every second (relative to λ) over
+    time, namespace N_S, λ = 20000 q/s paper scale.
+
+    Five curves: unif and uzipf at orders 0.75–1.50.  The uzipf streams
+    begin with staggered uniform warmups; each Zipf segment re-ranks node
+    popularity instantly, producing the paper's drop spikes that the
+    replication protocol then flattens. *)
+
+open Terradir
+open Terradir_util
+
+type result = {
+  duration : float;
+  scaled_rate : float;
+  series : (string * float array) list;  (** per-second drop fraction *)
+}
+
+let run ?scale ?(duration = 250.0) ?(seed = 42) () =
+  let series =
+    List.map
+      (fun (label, phases) ->
+        let setup = Common.make ?scale ~seed Common.NS in
+        let cluster = Runner.run_phases setup phases in
+        let fractions =
+          Common.per_second_fraction cluster.Cluster.metrics.Metrics.drops_ts
+            ~rate:(setup.Common.rate Common.paper_lambda_fig3)
+            ~bins:(int_of_float duration)
+        in
+        (label, fractions))
+      (Runner.named_streams
+         (Common.make ?scale ~seed Common.NS)
+         ~paper_rate:Common.paper_lambda_fig3 ~duration)
+  in
+  let setup = Common.make ?scale ~seed Common.NS in
+  { duration; scaled_rate = setup.Common.rate Common.paper_lambda_fig3; series }
+
+let summarize r =
+  List.map
+    (fun (label, fr) ->
+      let total = Array.fold_left ( +. ) 0.0 fr in
+      let peak = Array.fold_left Float.max 0.0 fr in
+      (label, total /. float_of_int (Array.length fr), peak))
+    r.series
+
+let print r =
+  Printf.printf "Figure 3 — dropped queries per second / lambda (N_S, lambda=%.0f scaled)\n"
+    r.scaled_rate;
+  Tablefmt.series ~title:"fig3: drop fraction per second" ~time_label:"t(s)" ~columns:r.series;
+  Tablefmt.print ~header:[ "stream"; "mean drop fraction"; "peak drop fraction" ]
+    (List.map
+       (fun (label, mean, peak) ->
+         [ label; Tablefmt.float_cell mean; Tablefmt.float_cell peak ])
+       (summarize r))

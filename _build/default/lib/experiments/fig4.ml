@@ -1,0 +1,47 @@
+(** Figure 4: fraction of replicas created every second (relative to λ) over
+    time, namespace N_C (Coda-like), λ = 40000 q/s paper scale (the paper
+    doubles the rate on N_C to hold utilization roughly constant).
+
+    Spikes align with warmup (hierarchical stabilization) and with each
+    instantaneous popularity re-ranking; between shifts the creation rate
+    decays as the configuration adapts. *)
+
+open Terradir
+open Terradir_util
+
+type result = {
+  duration : float;
+  scaled_rate : float;
+  series : (string * float array) list;  (** per-second replica-creation fraction *)
+}
+
+let run ?scale ?(duration = 250.0) ?(seed = 42) () =
+  let series =
+    List.map
+      (fun (label, phases) ->
+        let setup = Common.make ?scale ~seed Common.NC in
+        let cluster = Runner.run_phases setup phases in
+        let fractions =
+          Common.per_second_fraction cluster.Cluster.metrics.Metrics.replicas_ts
+            ~rate:(setup.Common.rate Common.paper_lambda_fig4)
+            ~bins:(int_of_float duration)
+        in
+        (label, fractions))
+      (Runner.named_streams
+         (Common.make ?scale ~seed Common.NC)
+         ~paper_rate:Common.paper_lambda_fig4 ~duration)
+  in
+  let setup = Common.make ?scale ~seed Common.NC in
+  { duration; scaled_rate = setup.Common.rate Common.paper_lambda_fig4; series }
+
+let print r =
+  Printf.printf "Figure 4 — replicas created per second / lambda (N_C, lambda=%.0f scaled)\n"
+    r.scaled_rate;
+  Tablefmt.series ~title:"fig4: replica creation fraction per second" ~time_label:"t(s)"
+    ~columns:r.series;
+  Tablefmt.print ~header:[ "stream"; "total replicas created" ]
+    (List.map
+       (fun (label, fr) ->
+         let total = Array.fold_left ( +. ) 0.0 fr *. r.scaled_rate in
+         [ label; Printf.sprintf "%.0f" total ])
+       r.series)

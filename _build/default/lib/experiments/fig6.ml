@@ -1,0 +1,70 @@
+(** Figure 6: utilization and load balance.  N_S under uzipf1.00 with
+    instant re-rankings, at three arrival rates (paper λ = 4000, 10000,
+    20000 ≈ utilizations 0.15 / 0.4 / 0.8).
+
+    Left panel: per-second mean and maximum server load — peaks follow each
+    popularity shift, and the maximum sinks back toward T_high given time.
+    Right panel: the maximum averaged over an 11-second window, showing the
+    transiency of highly-loaded conditions. *)
+
+open Terradir
+open Terradir_util
+
+type series = {
+  label : string;
+  mean_load : float array;
+  max_load : float array;
+  smoothed_max : float array;  (** 11-second trailing average of the max *)
+}
+
+type result = { duration : float; runs : series list }
+
+let paper_rates = [ 4000.0; 10000.0; 20000.0 ]
+
+let smoothing_window = 11
+
+let run ?scale ?(duration = 250.0) ?(seed = 42) () =
+  let runs =
+    List.map
+      (fun paper_rate ->
+        let setup = Common.make ?scale ~seed Common.NS in
+        let phases =
+          Common.uzipf_stream setup ~paper_rate ~alpha:1.00 ~duration
+        in
+        let cluster = Runner.run_phases setup phases in
+        let m = cluster.Cluster.metrics in
+        {
+          label = Printf.sprintf "lambda=%.0f" paper_rate;
+          mean_load = Timeseries.means m.Metrics.load_mean_ts;
+          max_load = Timeseries.maxima m.Metrics.load_max_ts;
+          smoothed_max = Timeseries.smoothed_max m.Metrics.load_max_ts ~window:smoothing_window;
+        })
+      paper_rates
+  in
+  { duration; runs }
+
+let print r =
+  print_endline "Figure 6 — average and maximum server load (N_S, uzipf1.00 with shifts)";
+  let columns =
+    List.concat_map
+      (fun s -> [ (s.label ^ " avg", s.mean_load); (s.label ^ " max", s.max_load) ])
+      r.runs
+  in
+  Tablefmt.series ~title:"fig6 left: per-second load" ~time_label:"t(s)" ~columns;
+  let columns11 = List.map (fun s -> (s.label ^ " max11", s.smoothed_max)) r.runs in
+  Tablefmt.series ~title:"fig6 right: max load averaged over 11 s" ~time_label:"t(s)"
+    ~columns:columns11;
+  Tablefmt.print ~header:[ "run"; "mean of mean load"; "mean of max"; "mean of max11" ]
+    (List.map
+       (fun s ->
+         let avg a =
+           if Array.length a = 0 then 0.0
+           else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+         in
+         [
+           s.label;
+           Tablefmt.float_cell (avg s.mean_load);
+           Tablefmt.float_cell (avg s.max_load);
+           Tablefmt.float_cell (avg s.smoothed_max);
+         ])
+       r.runs)

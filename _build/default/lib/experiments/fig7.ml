@@ -1,0 +1,46 @@
+(** Figure 7: how the system reacts to hierarchical bottlenecks — the
+    average number of replicas created per node at each namespace level
+    (root = level 0), for uniform and Zipf streams at three arrival rates.
+
+    Paper shape: the top levels replicate heavily; level 2 often exceeds
+    its ancestors (pointers to level-2 nodes linger in caches, diverting
+    traffic from levels 0–1); replication fades toward the leaves. *)
+
+open Terradir
+open Terradir_util
+
+type series = { label : string; per_level : float array }
+
+type result = { runs : series list }
+
+let paper_rates = [ 2000.0; 4000.0; 8000.0 ]
+
+let run ?scale ?(duration = 150.0) ?(seed = 42) () =
+  let one label phases setup =
+    let cluster = Runner.run_phases setup phases in
+    { label; per_level = Cluster.replicas_per_level cluster `Created }
+  in
+  let runs =
+    List.concat_map
+      (fun paper_rate ->
+        let setup () = Common.make ?scale ~seed Common.NS in
+        let s1 = setup () in
+        let s2 = setup () in
+        [
+          one
+            (Printf.sprintf "unif l=%.0f" paper_rate)
+            (Common.unif_stream s1 ~paper_rate ~duration)
+            s1;
+          one
+            (Printf.sprintf "uzipf l=%.0f" paper_rate)
+            (Common.uzipf_stream s2 ~paper_rate ~alpha:1.00 ~duration)
+            s2;
+        ])
+      paper_rates
+  in
+  { runs }
+
+let print r =
+  print_endline "Figure 7 — average replicas created per node, by namespace level (N_S)";
+  let columns = List.map (fun s -> (s.label, s.per_level)) r.runs in
+  Tablefmt.series ~title:"fig7: replicas per level" ~time_label:"level" ~columns

@@ -1,0 +1,83 @@
+(** Figure 9: scalability.  System size doubles step by step; nodes per
+    server stay constant (~8, balanced binary namespace), λ grows
+    proportionally, cache slots grow logarithmically (2·log2 S − 2) and
+    r_map grows logarithmically.
+
+    Reported per size: average query latency (hops and seconds — the paper
+    plots a logarithmically growing latency), log10 of replication events,
+    and log10 of dropped queries (both roughly linear in system size,
+    hence straight lines on the log scale). *)
+
+open Terradir
+open Terradir_util
+
+type row = {
+  servers : int;
+  nodes : int;
+  mean_hops : float;
+  mean_latency : float;
+  replications : int;
+  drops : int;
+  resolved : int;
+}
+
+type result = { rows : row list }
+
+(* Scaled counterpart of the paper's 2^9..2^14 sweep: six doublings,
+   starting from 512·scale servers (so scale=1 reproduces 2^9..2^14). *)
+let sizes ?(scale = 1.0 /. 16.0) () =
+  let smallest = max 8 (int_of_float (512.0 *. scale)) in
+  List.init 6 (fun i -> smallest * (1 lsl i))
+
+let run ?scale ?(duration = 90.0) ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun servers ->
+        let scale_for = float_of_int servers /. float_of_int Common.paper_servers in
+        let tweak c =
+          let log2s =
+            let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+            go 0 servers
+          in
+          {
+            c with
+            Config.placement = Config.Round_robin;
+            cache_slots = max 4 ((2 * log2s) - 2);
+            r_map = max 2 (log2s - 2);
+          }
+        in
+        let setup = Common.make ~scale:scale_for ~seed ~config_tweak:tweak Common.NS in
+        let paper_rate = 5.0 *. float_of_int Common.paper_servers (* λ ∝ S *) in
+        let phases = Common.uzipf_stream setup ~paper_rate ~alpha:1.00 ~duration in
+        let cluster = Runner.run_phases setup phases in
+        let m = cluster.Cluster.metrics in
+        {
+          servers;
+          nodes = Terradir_namespace.Tree.size setup.Common.tree;
+          mean_hops = Stats.mean m.Metrics.hops;
+          mean_latency = Stats.mean m.Metrics.latency;
+          replications = m.Metrics.replicas_created;
+          drops = Metrics.dropped_total m;
+          resolved = m.Metrics.resolved;
+        })
+      (sizes ?scale ())
+  in
+  { rows }
+
+let print r =
+  print_endline "Figure 9 — scalability with system size (uzipf1.00, lambda proportional to S)";
+  Tablefmt.print
+    ~header:
+      [ "servers"; "nodes"; "mean hops"; "latency(s)"; "log10(replications)"; "log10(drops)"; "resolved" ]
+    (List.map
+       (fun row ->
+         [
+           string_of_int row.servers;
+           string_of_int row.nodes;
+           Tablefmt.float_cell ~decimals:2 row.mean_hops;
+           Tablefmt.float_cell row.mean_latency;
+           Tablefmt.float_cell ~decimals:2 (Common.log10_or_zero (float_of_int row.replications));
+           Tablefmt.float_cell ~decimals:2 (Common.log10_or_zero (float_of_int row.drops));
+           string_of_int row.resolved;
+         ])
+       r.rows)

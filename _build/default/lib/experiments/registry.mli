@@ -1,0 +1,15 @@
+(** Experiment catalog: one entry per table/figure of the paper (plus the
+    §4.4 ablation), each runnable at an arbitrary scale.  Used by the CLI
+    and the benchmark harness. *)
+
+type entry = {
+  id : string;  (** e.g. "fig3" *)
+  title : string;
+  run : ?scale:float -> ?seed:int -> unit -> unit;  (** run and print *)
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val ids : unit -> string list

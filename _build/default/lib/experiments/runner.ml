@@ -1,0 +1,16 @@
+open Terradir
+open Terradir_workload
+
+let run_phases ?(workload_seed = 1009) setup phases =
+  let cluster = Common.cluster setup in
+  Scenario.run cluster ~phases ~seed:workload_seed;
+  cluster
+
+let named_streams setup ~paper_rate ~duration =
+  ignore (Config.validate setup.Common.config);
+  ("unif", Common.unif_stream setup ~paper_rate ~duration)
+  :: List.map
+       (fun alpha ->
+         ( Printf.sprintf "uzipf%.2f" alpha,
+           Common.uzipf_stream setup ~paper_rate ~alpha ~duration ))
+       Common.zipf_orders

@@ -1,0 +1,18 @@
+(** Small shared driver: build a cluster for a setup, run a stream, hand
+    back the cluster for measurement. *)
+
+val run_phases :
+  ?workload_seed:int ->
+  Common.setup ->
+  Terradir_workload.Stream.phase list ->
+  Terradir.Cluster.t
+(** Fresh cluster from the setup, driven through the phases to completion
+    (2 s drain). *)
+
+val named_streams :
+  Common.setup ->
+  paper_rate:float ->
+  duration:float ->
+  (string * Terradir_workload.Stream.phase list) list
+(** The paper's five standard streams: [unif] plus [uzipf] at each order in
+    {!Common.zipf_orders}, labelled "unif", "uzipf0.75", …. *)

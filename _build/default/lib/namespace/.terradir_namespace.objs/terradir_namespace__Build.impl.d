@@ -1,0 +1,1 @@
+lib/namespace/build.ml: Array Float Hashtbl List Name Printf Splitmix Stats Terradir_util Tree

@@ -1,0 +1,1 @@
+lib/namespace/build.mli: Tree

@@ -1,0 +1,1 @@
+lib/namespace/name.ml: Format List String

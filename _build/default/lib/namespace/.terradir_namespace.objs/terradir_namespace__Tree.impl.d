@@ -1,0 +1,1 @@
+lib/namespace/tree.ml: Array Hashtbl List Name String

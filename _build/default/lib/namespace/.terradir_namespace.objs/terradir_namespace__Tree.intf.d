@@ -1,0 +1,1 @@
+lib/namespace/tree.mli: Name

@@ -1,0 +1,75 @@
+type t = string list
+(* Components in root-first order; the canonical-form invariant (no empty
+   component, no '/') is enforced by all constructors. *)
+
+let root = []
+
+let check_component c =
+  if c = "" then invalid_arg "Name: empty component";
+  if String.contains c '/' then invalid_arg "Name: component contains '/'"
+
+let of_components cs =
+  List.iter check_component cs;
+  cs
+
+let of_string s =
+  String.split_on_char '/' s |> List.filter (fun c -> c <> "")
+
+let to_string = function
+  | [] -> "/"
+  | cs -> "/" ^ String.concat "/" cs
+
+let components t = t
+
+let child t c =
+  check_component c;
+  t @ [ c ]
+
+let parent = function
+  | [] -> None
+  | cs ->
+    let rec drop_last = function
+      | [] -> assert false
+      | [ _ ] -> []
+      | c :: rest -> c :: drop_last rest
+    in
+    Some (drop_last cs)
+
+let basename = function
+  | [] -> None
+  | cs -> Some (List.nth cs (List.length cs - 1))
+
+let depth = List.length
+
+let rec is_ancestor a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> String.equal x y && is_ancestor a' b'
+
+let ancestors t =
+  (* Walk up through parents: nearest ancestor first, root last. *)
+  let rec go acc cur =
+    match parent cur with
+    | None -> List.rev acc
+    | Some p -> go (p :: acc) p
+  in
+  go [] t
+
+let lowest_common_ancestor a b =
+  let rec go acc a b =
+    match (a, b) with
+    | x :: a', y :: b' when String.equal x y -> go (x :: acc) a' b'
+    | _ -> List.rev acc
+  in
+  go [] a b
+
+let distance a b =
+  let l = lowest_common_ancestor a b in
+  depth a + depth b - (2 * depth l)
+
+let equal a b = List.equal String.equal a b
+
+let compare a b = List.compare String.compare a b
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

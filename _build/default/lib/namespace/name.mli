@@ -1,0 +1,55 @@
+(** Fully-qualified hierarchical names.
+
+    A TerraDir node is identified by a name much like a Unix path:
+    ["/university/private/people"].  A name is a list of non-empty
+    components; the empty list is the root ["/"]. *)
+
+type t
+(** Immutable; structural equality and ordering are meaningful. *)
+
+val root : t
+
+val of_string : string -> t
+(** Parse ["/a/b/c"].  Accepts a leading slash, collapses repeated slashes,
+    ignores a trailing slash.  @raise Invalid_argument on names containing
+    no printable component where one is expected (e.g. [""] is fine — it is
+    the root — but components cannot be empty by construction). *)
+
+val to_string : t -> string
+(** Canonical rendering, always with a leading ["/"]; the root is ["/"]. *)
+
+val of_components : string list -> t
+(** @raise Invalid_argument if any component is empty or contains ['/']. *)
+
+val components : t -> string list
+
+val child : t -> string -> t
+(** [child n c] appends component [c].
+    @raise Invalid_argument on invalid component. *)
+
+val parent : t -> t option
+(** [None] for the root. *)
+
+val basename : t -> string option
+(** Last component; [None] for the root. *)
+
+val depth : t -> int
+(** Number of components; the root has depth 0. *)
+
+val is_ancestor : t -> t -> bool
+(** [is_ancestor a b]: is [a] a (non-strict) prefix of [b]? *)
+
+val ancestors : t -> t list
+(** All strict ancestors, nearest first, ending with the root.
+    [ancestors root = \[\]]. *)
+
+val lowest_common_ancestor : t -> t -> t
+
+val distance : t -> t -> int
+(** Tree (namespace) distance: [depth a + depth b - 2 * depth (lca a b)]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/dist.ml: Array Splitmix Terradir_util

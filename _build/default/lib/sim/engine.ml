@@ -1,0 +1,47 @@
+open Terradir_util
+
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create () = { queue = Pqueue.create (); clock = 0.0; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
+  if time < t.clock then invalid_arg "Engine.schedule_at: scheduling into the past";
+  Pqueue.add t.queue time f
+
+let schedule t ~delay f =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Engine.schedule: negative or non-finite delay";
+  Pqueue.add t.queue (t.clock +. delay) f
+
+let pending t = Pqueue.length t.queue
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+    if stop < t.clock then invalid_arg "Engine.run: until is in the past";
+    let continue = ref true in
+    while !continue do
+      match Pqueue.min t.queue with
+      | Some (time, _) when time <= stop -> ignore (step t)
+      | Some _ | None -> continue := false
+    done;
+    t.clock <- stop
+
+let events_executed t = t.executed

@@ -1,0 +1,40 @@
+(** Sequential discrete-event simulation engine.
+
+    A simulation is a clock plus a priority queue of timestamped thunks.
+    [run] repeatedly pops the earliest event, advances the clock to its
+    timestamp, and executes it; handlers schedule further events.  Events
+    with equal timestamps fire in scheduling order (deterministic).
+
+    The engine is deliberately minimal: processes, queues, and resources are
+    modeled by the TerraDir layer on top of it. *)
+
+type t
+
+val create : unit -> t
+(** Fresh engine with the clock at 0. *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** Absolute-time variant. @raise Invalid_argument when scheduling into the
+    past. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in timestamp order.  With [until], stops (without
+    executing them) at the first event strictly after [until] and advances
+    the clock to [until]; without it, runs until the queue drains.
+    @raise Invalid_argument if [until] is before [now]. *)
+
+val step : t -> bool
+(** Execute exactly the next event.  [false] when the queue is empty. *)
+
+val events_executed : t -> int
+(** Total events executed since creation (simulation-cost accounting). *)

@@ -1,0 +1,1 @@
+lib/terradir/cache.ml: Lru Node_map Splitmix Terradir_util

@@ -1,0 +1,1 @@
+lib/terradir/cache.mli: Node_map Terradir_util

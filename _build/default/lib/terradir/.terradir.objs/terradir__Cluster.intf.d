@@ -1,0 +1,1 @@
+lib/terradir/cluster.mli: Config Hashtbl Metrics Server Terradir_namespace Terradir_sim Terradir_util Types

@@ -1,0 +1,1 @@
+lib/terradir/config.ml:

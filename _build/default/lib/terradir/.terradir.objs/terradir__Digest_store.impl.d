@@ -1,0 +1,1 @@
+lib/terradir/digest_store.ml: Bloom Hashtbl Lru Option Terradir_bloom Terradir_util

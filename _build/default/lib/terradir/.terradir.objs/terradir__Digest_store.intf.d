@@ -1,0 +1,1 @@
+lib/terradir/digest_store.mli: Terradir_bloom

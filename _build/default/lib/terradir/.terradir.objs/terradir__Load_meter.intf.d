@@ -1,0 +1,1 @@
+lib/terradir/load_meter.mli:

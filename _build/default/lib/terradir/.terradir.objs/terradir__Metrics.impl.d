@@ -1,0 +1,1 @@
+lib/terradir/metrics.ml: Printf Stats Terradir_util Timeseries Types

@@ -1,0 +1,1 @@
+lib/terradir/metrics.mli: Splitmix Stats Terradir_util Timeseries Types

@@ -1,0 +1,1 @@
+lib/terradir/node_map.ml: Float Format List Option Printf Splitmix String Terradir_util

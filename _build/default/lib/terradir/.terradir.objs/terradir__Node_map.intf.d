@@ -1,0 +1,1 @@
+lib/terradir/node_map.mli: Format Terradir_util

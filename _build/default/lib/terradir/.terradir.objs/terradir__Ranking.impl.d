@@ -1,0 +1,1 @@
+lib/terradir/ranking.ml: Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/terradir/replication.ml: Config Float Hashtbl List Load_meter Ranking Server

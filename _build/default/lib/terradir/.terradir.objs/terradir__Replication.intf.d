@@ -1,0 +1,1 @@
+lib/terradir/replication.mli: Config Server Types

@@ -1,0 +1,1 @@
+lib/terradir/routing.ml: Cache Config Digest_store Hashtbl List Node_map Option Server Terradir_bloom Terradir_namespace Tree Types

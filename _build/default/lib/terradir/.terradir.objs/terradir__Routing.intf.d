@@ -1,0 +1,1 @@
+lib/terradir/routing.mli: Node_map Server Types

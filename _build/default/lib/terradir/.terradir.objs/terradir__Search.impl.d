@@ -1,0 +1,1 @@
+lib/terradir/search.ml: Array Cluster Filename List Node_map Queue Terradir_namespace Terradir_sim Tree Types

@@ -1,0 +1,1 @@
+lib/terradir/search.mli: Cluster Node_map Types

@@ -1,0 +1,1 @@
+lib/terradir/server.ml: Cache Config Digest_store Hashtbl List Load_meter Node_map Option Queue Ranking Splitmix Terradir_bloom Terradir_namespace Terradir_util Tree Types

@@ -1,0 +1,1 @@
+lib/terradir/server.mli: Cache Config Digest_store Hashtbl Load_meter Node_map Queue Ranking Terradir_namespace Terradir_util Types

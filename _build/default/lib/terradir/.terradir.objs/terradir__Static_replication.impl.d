@@ -1,0 +1,1 @@
+lib/terradir/static_replication.ml: Array Cluster Server Splitmix Terradir_namespace Terradir_util Tree

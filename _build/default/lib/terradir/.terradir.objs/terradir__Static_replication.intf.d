@@ -1,0 +1,1 @@
+lib/terradir/static_replication.mli: Cluster

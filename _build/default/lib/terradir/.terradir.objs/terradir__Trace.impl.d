@@ -1,0 +1,1 @@
+lib/terradir/trace.ml: Array Char Cluster Format List Routing Server Terradir_namespace Tree Types

@@ -1,0 +1,1 @@
+lib/terradir/trace.mli: Cluster Format Types

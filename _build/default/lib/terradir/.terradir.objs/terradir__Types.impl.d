@@ -1,0 +1,1 @@
+lib/terradir/types.ml: Node_map Terradir_bloom

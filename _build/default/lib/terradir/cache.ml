@@ -1,0 +1,61 @@
+open Terradir_util
+
+type t = {
+  lru : Node_map.t Lru.t;
+  r_map : int;
+  rng : Splitmix.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~slots ~r_map ~rng =
+  if r_map < 1 then invalid_arg "Cache.create: r_map must be >= 1";
+  { lru = Lru.create ~capacity:slots; r_map; rng; hits = 0; misses = 0 }
+
+let slots t = Lru.capacity t.lru
+
+let length t = Lru.length t.lru
+
+let insert t ~node map =
+  if Node_map.is_empty map then ()
+  else
+    let merged =
+      match Lru.peek t.lru node with
+      | None -> Node_map.of_entries ~max:t.r_map (Node_map.entries map)
+      | Some existing -> Node_map.merge ~max:t.r_map t.rng existing map
+    in
+    Lru.put t.lru node merged
+
+let count t = function
+  | Some _ as r ->
+    t.hits <- t.hits + 1;
+    r
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let use t ~node = count t (Lru.find t.lru node)
+
+let peek t ~node = count t (Lru.peek t.lru node)
+
+let remove t ~node = Lru.remove t.lru node
+
+let update t ~node ~f =
+  match Lru.peek t.lru node with
+  | None -> ()
+  | Some map ->
+    let map' = f map in
+    if Node_map.is_empty map' then Lru.remove t.lru node
+    else
+      (* Rewrite in place without promoting: Lru.put promotes, so go through
+         peek/remove/put only when the value changed; promotion on rewrite is
+         acceptable for pruning (it happens when the entry is in active use). *)
+      Lru.put t.lru node map'
+
+let iter t ~f = Lru.iter t.lru ~f
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let clear t = Lru.clear t.lru

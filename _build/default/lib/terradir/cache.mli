@@ -1,0 +1,42 @@
+(** Per-server node cache (§2.4).
+
+    A cache entry is {e just a map} for a node: it lacks routing context and
+    acts as a pointer in the namespace; a hit cannot resolve a query by
+    itself.  Replacement is LRU, with an entry touched whenever it is used in
+    routing.  Path propagation means inserts come in bursts (the whole query
+    path so far); inserted maps are merged with any existing entry for the
+    same node. *)
+
+type t
+
+val create : slots:int -> r_map:int -> rng:Terradir_util.Splitmix.t -> t
+(** [slots] may be 0 (caching disabled). *)
+
+val slots : t -> int
+
+val length : t -> int
+
+val insert : t -> node:int -> Node_map.t -> unit
+(** Insert or merge-with-existing, becoming most-recently-used. *)
+
+val use : t -> node:int -> Node_map.t option
+(** Lookup {e and touch} — call when the entry is chosen for routing. *)
+
+val peek : t -> node:int -> Node_map.t option
+(** Lookup without touching — call when scanning candidates. *)
+
+val remove : t -> node:int -> unit
+
+val update : t -> node:int -> f:(Node_map.t -> Node_map.t) -> unit
+(** In-place map rewrite (e.g. pruning a stale server); no LRU effect;
+    no-op when absent.  If [f] returns an empty map the entry is dropped. *)
+
+val iter : t -> f:(int -> Node_map.t -> unit) -> unit
+(** Iterate entries (MRU first) without touching them. *)
+
+val hits : t -> int
+
+val misses : t -> int
+(** {!use} and {!peek} count towards the hit/miss counters. *)
+
+val clear : t -> unit

@@ -1,0 +1,776 @@
+open Terradir_util
+open Terradir_namespace
+open Terradir_sim
+open Types
+
+type fetch_outcome = Fetched of { latency : float } | Fetch_failed
+
+type fetch_state = {
+  f_client : server_id;
+  f_node : node_id;
+  f_started : float;
+  mutable f_tried : server_id list;
+  f_on_done : (fetch_outcome -> unit) option;
+}
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  tree : Tree.t;
+  servers : Server.t array;
+  owner_of : server_id array;
+  rng : Splitmix.t;
+  metrics : Metrics.t;
+  hop_budget : int;
+  replicas_created_per_level : int array;
+  data_holders : server_id array array;
+  pending_fetches : (int, fetch_state) Hashtbl.t;
+  mutable next_qid : int;
+  mutable next_session : int;
+  mutable next_fetch : int;
+  mutable last_src : server_id;
+  epochs : int array;
+}
+
+let now t = Engine.now t.engine
+
+let server t sid = t.servers.(sid)
+
+let num_servers t = Array.length t.servers
+
+let features t = t.config.Config.features
+
+(* ------------------------------------------------------------------ *)
+(* Messaging                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec send t ~from ~to_ payload =
+  let s = t.servers.(from) in
+  let version = Digest_store.local_version s.Server.digests in
+  let digest =
+    if
+      (features t).Config.digests
+      && Digest_store.last_version_sent s.Server.digests ~peer:to_ < version
+    then begin
+      Digest_store.note_version_sent s.Server.digests ~peer:to_ version;
+      Some (Digest_store.local s.Server.digests)
+    end
+    else None
+  in
+  let msg =
+    {
+      msg_from = from;
+      msg_load = Load_meter.load s.Server.load (now t);
+      msg_digest_version = version;
+      msg_digest = digest;
+      msg_payload = payload;
+    }
+  in
+  (* The paper's "load balancing messages": probes, replies, transfers —
+     not query replies, which are part of the lookup itself. *)
+  (match payload with
+  | Load_probe _ | Load_reply _ | Replicate _ ->
+    t.metrics.Metrics.control_messages <- t.metrics.Metrics.control_messages + 1
+  | Query _ | Query_reply _ | Data_request _ | Data_reply _ -> ());
+  Engine.schedule t.engine ~delay:t.config.Config.network_delay (fun () -> deliver t ~to_ msg)
+
+and deliver t ~to_ msg =
+  let s = t.servers.(to_) in
+  if not s.Server.alive then bounce t ~dead:to_ msg
+  else begin
+    if msg.msg_from <> to_ then Server.note_peer_load s msg.msg_from msg.msg_load;
+    (match msg.msg_digest with
+    | Some bloom when (features t).Config.digests && msg.msg_from <> to_ ->
+      Digest_store.record_remote s.Server.digests ~server:msg.msg_from
+        ~version:msg.msg_digest_version bloom
+    | Some _ | None -> ());
+    let queue_full () = Queue.length s.Server.queue >= t.config.Config.queue_capacity in
+    (match msg.msg_payload with
+    | Query q ->
+      if queue_full () then finish_dropped t q Queue_full
+      else begin
+        Queue.add msg s.Server.queue;
+        kick t to_
+      end
+    | Data_request { fetch_id; _ } ->
+      if queue_full () then fetch_retry t fetch_id ~failed:to_
+      else begin
+        Queue.add msg s.Server.queue;
+        kick t to_
+      end
+    | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ ->
+      Queue.add msg s.Server.ctrl_queue;
+      kick t to_)
+  end
+
+(* A message reached a dead server.  Queries bounce back to the sender
+   (failure detection), which prunes the dead host and retries; control
+   messages are simply lost (session timeouts recover). *)
+and bounce t ~dead msg =
+  match msg.msg_payload with
+  | Query q ->
+    let sender = msg.msg_from in
+    Engine.schedule t.engine ~delay:t.config.Config.network_delay (fun () ->
+        let s = t.servers.(sender) in
+        if not s.Server.alive then finish_dropped t q Server_dead
+        else begin
+          Server.forget_server s q.target dead;
+          Server.forget_peer s dead;
+          q.hops <- q.hops + 2;
+          if q.hops > t.hop_budget then finish_dropped t q Hop_budget
+          else
+            deliver t ~to_:sender
+              { msg with msg_from = sender; msg_digest = None; msg_payload = Query q }
+        end)
+  | Query_reply _ ->
+    (* The originator died; its lookup dies with it. *)
+    Metrics.drop t.metrics Server_dead ~now:(now t)
+  | Data_request { fetch_id; _ } -> fetch_retry t fetch_id ~failed:dead
+  | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Service loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+and kick t sid =
+  let s = t.servers.(sid) in
+  if s.Server.alive && not s.Server.serving then begin
+    let next =
+      if not (Queue.is_empty s.Server.ctrl_queue) then Some (Queue.pop s.Server.ctrl_queue)
+      else if not (Queue.is_empty s.Server.queue) then Some (Queue.pop s.Server.queue)
+      else None
+    in
+    match next with
+    | None -> ()
+    | Some msg ->
+      s.Server.serving <- true;
+      Load_meter.begin_busy s.Server.load (now t);
+      let duration =
+        (match msg.msg_payload with
+        | Query _ -> Splitmix.exponential s.Server.rng t.config.Config.service_mean
+        | Data_request _ -> Splitmix.exponential s.Server.rng t.config.Config.data_service_mean
+        | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ ->
+          t.config.Config.ctrl_service)
+        /. s.Server.speed
+      in
+      let epoch = t.epochs.(sid) in
+      Engine.schedule t.engine ~delay:duration (fun () ->
+          if t.epochs.(sid) = epoch && s.Server.alive then begin
+            Load_meter.end_busy s.Server.load (now t);
+            s.Server.serving <- false;
+            process t sid msg;
+            kick t sid
+          end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message processing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+and process t sid msg =
+  let s = t.servers.(sid) in
+  (match msg.msg_payload with
+  | Query q -> process_query t s q
+  | Query_reply q -> complete_query t s q
+  | Load_probe { session } ->
+    send t ~from:sid ~to_:msg.msg_from
+      (Load_reply { session; load = Load_meter.load s.Server.load (now t) })
+  | Load_reply { session; load } -> handle_load_reply t s ~peer:msg.msg_from ~session ~peer_load:load
+  | Replicate { session = _; replicas } -> handle_replicate t s ~sender_load:msg.msg_load replicas
+  | Data_request { fetch_id; node; client } ->
+    (* Data is durable at its holders (like ownership); serving it is pure
+       busy time, already accounted by this service slot. *)
+    send t ~from:sid ~to_:client (Data_reply { fetch_id; node })
+  | Data_reply { fetch_id; _ } -> (
+    match Hashtbl.find_opt t.pending_fetches fetch_id with
+    | None -> ()
+    | Some f ->
+      Hashtbl.remove t.pending_fetches fetch_id;
+      t.metrics.Metrics.data_completed <- t.metrics.Metrics.data_completed + 1;
+      let latency = now t -. f.f_started in
+      Stats.add t.metrics.Metrics.data_latency latency;
+      Option.iter (fun k -> k (Fetched { latency })) f.f_on_done));
+  (* §3.3 step 1: a server checks its load after each processed query. *)
+  maybe_start_session t s
+
+(* Path propagation is the caching mechanism (§2.4): without caching the
+   base system neither carries nor absorbs path state.  Under the
+   [Endpoints_only] strawman policy, intermediate servers absorb nothing —
+   only the source caches, from the reply (see [complete_query]). *)
+and absorb_path ?(at_endpoint = false) t s path =
+  let cfg = t.config in
+  if
+    cfg.Config.features.Config.caching
+    && (cfg.Config.cache_policy = Config.Path_propagation || at_endpoint)
+  then begin
+    let time = now t in
+    List.iter (fun (node, map) -> Server.merge_into_known_map s node map ~now:time) path
+  end
+
+and append_path_entry t s q =
+  if
+    (features t).Config.caching
+    && t.config.Config.cache_policy = Config.Path_propagation
+  then
+    match Server.find_hosted s q.target with
+    | Some h ->
+      q.path <- (q.target, h.Server.h_map) :: q.path;
+      (* Bound piggyback size, keeping the newest entries. *)
+      if List.length q.path > path_cap then
+        q.path <- List.filteri (fun i _ -> i < path_cap) q.path
+    | None -> ()
+
+and process_query t s q =
+  let time = now t in
+  s.Server.queries_processed <- s.Server.queries_processed + 1;
+  absorb_path t s q.path;
+  if q.hops > 0 && not (Server.hosts s q.target) then begin
+    q.stale_forwards <- q.stale_forwards + 1;
+    t.metrics.Metrics.stale_forwards <- t.metrics.Metrics.stale_forwards + 1
+  end;
+  if Server.hosts s q.target then begin
+    Server.touch_node s q.target ~now:time;
+    q.best_dist <- min q.best_dist (Tree.distance t.tree q.target q.dst)
+  end;
+  let oracle =
+    if t.config.Config.oracle_maps then Some (ground_truth_map t) else None
+  in
+  match Routing.decide ~shortcut_bound:q.best_dist ?oracle s ~dst:q.dst with
+  | Routing.Resolve ->
+    Server.touch_node s q.dst ~now:time;
+    (match Server.find_hosted s q.dst with
+    | Some h ->
+      q.path <- (q.dst, h.Server.h_map) :: q.path;
+      (* the lookup's result: the destination's map and meta-data *)
+      q.result_map <- h.Server.h_map;
+      q.result_meta <- h.Server.h_meta_version
+    | None -> ());
+    if q.src_server = s.Server.id then complete_query t s q
+    else begin
+      q.hops <- q.hops + 1;
+      send t ~from:s.Server.id ~to_:q.src_server (Query_reply q)
+    end
+  | Routing.Forward { via_node; to_server; shortcut } ->
+    if shortcut then begin
+      q.shortcut_hops <- q.shortcut_hops + 1;
+      t.metrics.Metrics.shortcut_forwards <- t.metrics.Metrics.shortcut_forwards + 1
+    end;
+    append_path_entry t s q;
+    t.metrics.Metrics.query_forwards <- t.metrics.Metrics.query_forwards + 1;
+    q.hops <- q.hops + 1;
+    if q.hops > t.hop_budget then finish_dropped t q Hop_budget
+    else begin
+      q.target <- via_node;
+      q.best_dist <- min q.best_dist (Tree.distance t.tree via_node q.dst);
+      send t ~from:s.Server.id ~to_:to_server (Query q)
+    end
+  | Routing.Dead_end -> finish_dropped t q Dead_end
+
+(* A query reached a terminal drop: record it and notify the issuer. *)
+and finish_dropped t q reason =
+  Metrics.drop t.metrics reason ~now:(now t);
+  Option.iter (fun k -> k (Dropped reason)) q.on_complete
+
+(* ------------------------------------------------------------------ *)
+(* Data retrieval (§2.1 step two)                                      *)
+(* ------------------------------------------------------------------ *)
+
+and fetch_attempt t fetch_id =
+  match Hashtbl.find_opt t.pending_fetches fetch_id with
+  | None -> ()
+  | Some f -> (
+    let holders = t.data_holders.(f.f_node) in
+    let untried =
+      Array.to_list holders |> List.filter (fun h -> not (List.mem h f.f_tried))
+    in
+    match untried with
+    | [] ->
+      Hashtbl.remove t.pending_fetches fetch_id;
+      t.metrics.Metrics.data_dropped <- t.metrics.Metrics.data_dropped + 1;
+      Option.iter (fun k -> k Fetch_failed) f.f_on_done
+    | _ ->
+      let holder = List.nth untried (Splitmix.int t.rng (List.length untried)) in
+      f.f_tried <- holder :: f.f_tried;
+      send t ~from:f.f_client ~to_:holder
+        (Data_request { fetch_id; node = f.f_node; client = f.f_client }))
+
+and fetch_retry t fetch_id ~failed:_ = fetch_attempt t fetch_id
+
+(* Ground truth for oracle routing: the servers that actually host a node
+   right now.  A linear scan per call — acceptable because the oracle is an
+   analysis reference run at small scales, never the protocol itself. *)
+and ground_truth_map t node =
+  let time = now t in
+  Array.fold_left
+    (fun acc s ->
+      if s.Server.alive && Server.hosts s node then
+        Node_map.add ~max:max_int acc
+          {
+            Node_map.server = s.Server.id;
+            is_owner = t.owner_of.(node) = s.Server.id;
+            stamp = time;
+          }
+      else acc)
+    Node_map.empty t.servers
+
+and complete_query t s q =
+  (* The source caches its lookup result even under endpoint-only caching;
+     with path propagation it absorbs the whole route. *)
+  absorb_path ~at_endpoint:true t s q.path;
+  let latency = now t -. q.born in
+  Metrics.resolve t.metrics ~latency ~hops:q.hops ~now:(now t);
+  (* Meta-data staleness at the resolving host, vs the owner's truth. *)
+  (match Server.find_hosted t.servers.(t.owner_of.(q.dst)) q.dst with
+  | Some owner_rec ->
+    Stats.add t.metrics.Metrics.meta_lag
+      (float_of_int (max 0 (owner_rec.Server.h_meta_version - q.result_meta)))
+  | None -> ());
+  Option.iter
+    (fun k ->
+      k (Resolved { latency; hops = q.hops; map = q.result_map; meta_version = q.result_meta }))
+    q.on_complete
+
+(* ------------------------------------------------------------------ *)
+(* Replication protocol driver (§3.3)                                  *)
+(* ------------------------------------------------------------------ *)
+
+and maybe_start_session t s =
+  if Replication.should_start s ~now:(now t) then begin
+    t.metrics.Metrics.sessions_started <- t.metrics.Metrics.sessions_started + 1;
+    let session_id = t.next_session in
+    t.next_session <- t.next_session + 1;
+    let sess = { Server.session_id; tried = []; attempts = 0 } in
+    s.Server.session <- Some sess;
+    probe_next_peer t s sess
+  end
+
+and abort_session t s =
+  t.metrics.Metrics.sessions_aborted <- t.metrics.Metrics.sessions_aborted + 1;
+  s.Server.session <- None;
+  s.Server.session_backoff_until <- now t +. t.config.Config.retry_delay
+
+and probe_next_peer t s sess =
+  match Server.min_load_peer s ~exclude:(s.Server.id :: sess.Server.tried) with
+  | None -> abort_session t s
+  | Some (peer, _believed) ->
+    sess.Server.tried <- peer :: sess.Server.tried;
+    sess.Server.attempts <- sess.Server.attempts + 1;
+    send t ~from:s.Server.id ~to_:peer (Load_probe { session = sess.Server.session_id });
+    (* Recover from lost probes/replies (dead peers): abort if no progress
+       before a generous round-trip budget. *)
+    let attempts_at_send = sess.Server.attempts in
+    let timeout = (4.0 *. t.config.Config.network_delay) +. 0.5 in
+    Engine.schedule t.engine ~delay:timeout (fun () ->
+        match s.Server.session with
+        | Some cur
+          when cur.Server.session_id = sess.Server.session_id
+               && cur.Server.attempts = attempts_at_send ->
+          abort_session t s
+        | Some _ | None -> ())
+
+and handle_load_reply t s ~peer ~session ~peer_load =
+  match s.Server.session with
+  | Some sess when sess.Server.session_id = session ->
+    Server.note_peer_load s peer peer_load;
+    let time = now t in
+    let l_source = Load_meter.load s.Server.load time in
+    if Replication.acceptable ~config:t.config ~l_source ~l_dest:peer_load then begin
+      let nodes = Replication.select_nodes s ~l_source ~l_dest:peer_load ~now:time in
+      let payloads = List.filter_map (fun n -> Server.make_replica_payload s n ~now:time) nodes in
+      if payloads = [] then abort_session t s
+      else begin
+        send t ~from:s.Server.id ~to_:peer (Replicate { session; replicas = payloads });
+        List.iter (fun n -> Server.record_new_replica s n peer ~now:time) nodes;
+        Load_meter.set_adjustment s.Server.load
+          (Replication.adjusted_load ~l_source ~l_dest:peer_load);
+        s.Server.session <- None;
+        (* Let the shed divert traffic before considering another one. *)
+        s.Server.session_backoff_until <- time +. t.config.Config.success_cooldown
+      end
+    end
+    else if sess.Server.attempts >= t.config.Config.max_attempts then abort_session t s
+    else probe_next_peer t s sess
+  | Some _ | None -> () (* stale reply from an expired session *)
+
+and handle_replicate t s ~sender_load replicas =
+  let time = now t in
+  let installed = ref 0 in
+  let evicted_before = s.Server.replicas_evicted in
+  List.iter
+    (fun payload ->
+      match Server.install_replica s payload ~now:time with
+      | `Installed ->
+        incr installed;
+        Metrics.replica_created t.metrics ~now:time;
+        let level = Tree.depth t.tree payload.rp_node in
+        t.replicas_created_per_level.(level) <- t.replicas_created_per_level.(level) + 1
+      | `Merged | `Rejected -> ())
+    replicas;
+  (* Rank-based evictions performed to make room (§3.5). *)
+  t.metrics.Metrics.replicas_evicted <-
+    t.metrics.Metrics.replicas_evicted + (s.Server.replicas_evicted - evicted_before);
+  if !installed > 0 then
+    (* §3.3 step 4, receiver side: assume the ideal post-shed load until the
+       next measurement window lands. *)
+    Load_meter.set_adjustment s.Server.load
+      (Replication.adjusted_load ~l_source:sender_load
+         ~l_dest:(Load_meter.load s.Server.load time))
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* DNS-style root hint for a server with no state of its own (bootstrap,
+   or a crash-revived server that owned nothing). *)
+let seed_root_hint owner_of (s : Server.t) =
+  if s.Server.owned_count = 0 && not (Server.hosts s Tree.root) then
+    Cache.insert s.Server.cache ~node:Tree.root
+      (Node_map.singleton ~is_owner:true ~server:owner_of.(Tree.root) ~stamp:0.0 ())
+
+let place_owners config tree rng =
+  let n = Tree.size tree and s = config.Config.num_servers in
+  match config.Config.placement with
+  | Config.Uniform -> Array.init n (fun _ -> Splitmix.int rng s)
+  | Config.Round_robin ->
+    let order = Splitmix.permutation rng n in
+    let owners = Array.make n 0 in
+    Array.iteri (fun rank node -> owners.(node) <- rank mod s) order;
+    owners
+
+let create ?(monitor = true) ~config ~tree () =
+  Config.validate config;
+  let rng = Splitmix.create config.Config.seed in
+  let owner_of = place_owners config tree rng in
+  (* Heterogeneous capacities: log-uniform speeds, normalized to mean 1 so
+     the cluster's aggregate capacity does not depend on the spread. *)
+  let speeds =
+    let spread = config.Config.speed_spread in
+    if spread = 1.0 then Array.make config.Config.num_servers 1.0
+    else begin
+      let raw =
+        Array.init config.Config.num_servers (fun _ ->
+            exp (Splitmix.float rng (2.0 *. log spread) -. log spread))
+      in
+      let mean = Array.fold_left ( +. ) 0.0 raw /. float_of_int (Array.length raw) in
+      Array.map (fun v -> v /. mean) raw
+    end
+  in
+  let servers =
+    Array.init config.Config.num_servers (fun id ->
+        Server.create ~speed:speeds.(id) ~id ~config ~tree ~rng:(Splitmix.split rng) ())
+  in
+  (* Static data placement: owner first, then distinct extra holders. *)
+  let data_holders =
+    Array.mapi
+      (fun _node owner ->
+        let extras = min (config.Config.data_copies - 1) (config.Config.num_servers - 1) in
+        let holders = ref [ owner ] in
+        while List.length !holders < extras + 1 do
+          let candidate = Splitmix.int rng config.Config.num_servers in
+          if not (List.mem candidate !holders) then holders := candidate :: !holders
+        done;
+        Array.of_list (List.rev !holders))
+      owner_of
+  in
+  let t =
+    {
+      engine = Engine.create ();
+      config;
+      tree;
+      servers;
+      owner_of;
+      rng;
+      metrics = Metrics.create ~rng:(Splitmix.split rng);
+      hop_budget = (4 * Tree.max_depth tree) + config.Config.hop_budget_slack;
+      replicas_created_per_level = Array.make (Tree.max_depth tree + 1) 0;
+      data_holders;
+      pending_fetches = Hashtbl.create 64;
+      next_qid = 0;
+      next_session = 0;
+      next_fetch = 0;
+      last_src = 0;
+      epochs = Array.make config.Config.num_servers 0;
+    }
+  in
+  (* Bootstrap ownership and per-node routing contexts. *)
+  Array.iteri
+    (fun node owner -> Server.add_owned servers.(owner) node ~owner_of:(fun v -> owner_of.(v)) ~now:0.0)
+    owner_of;
+  (* Bootstrap contact: under uniform placement a server can own zero
+     nodes and would otherwise know nothing at all — queries injected
+     there would dead-end.  Like DNS root hints, such a server joins
+     knowing the root's owner (a permanent entry while nothing displaces
+     it; once traffic flows, path propagation keeps it routable). *)
+  Array.iter (fun s -> seed_root_hint owner_of s) servers;
+  (* Each server starts off knowing a few random peers (believed idle), so
+     replication sessions have somewhere to look before traffic teaches
+     them real loads. *)
+  let s_count = Array.length servers in
+  Array.iter
+    (fun s ->
+      for _ = 1 to min config.Config.bootstrap_peers (s_count - 1) do
+        let peer = Splitmix.int rng s_count in
+        if peer <> s.Server.id then Server.note_peer_load s peer 0.0
+      done)
+    servers;
+  if monitor then begin
+    (* Per-second load sampling for the Fig. 6 series. *)
+    let rec sample () =
+      let time = now t in
+      let sum = ref 0.0 and mx = ref 0.0 and alive = ref 0 in
+      Array.iter
+        (fun s ->
+          if s.Server.alive then begin
+            let l = Load_meter.raw_load s.Server.load time in
+            sum := !sum +. l;
+            if l > !mx then mx := l;
+            incr alive
+          end)
+        servers;
+      if !alive > 0 then begin
+        Timeseries.add t.metrics.Metrics.load_mean_ts time (!sum /. float_of_int !alive);
+        Timeseries.observe_max t.metrics.Metrics.load_max_ts time !mx
+      end;
+      Engine.schedule t.engine ~delay:1.0 sample
+    in
+    Engine.schedule t.engine ~delay:0.5 sample;
+    (* Soft-state decay: periodic idle-replica eviction, staggered across
+       servers to avoid synchronized scan storms. *)
+    let period = config.Config.eviction_scan_period in
+    Array.iter
+      (fun s ->
+        let rec scan () =
+          if s.Server.alive then begin
+            let evicted = Server.idle_scan s ~now:(now t) in
+            t.metrics.Metrics.replicas_evicted <-
+              t.metrics.Metrics.replicas_evicted + List.length evicted
+          end;
+          Engine.schedule t.engine ~delay:period scan
+        in
+        let phase = Splitmix.float rng period in
+        Engine.schedule t.engine ~delay:phase scan)
+      servers
+  end;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Driving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let inject ?on_complete t ~src ~dst =
+  if src < 0 || src >= num_servers t then invalid_arg "Cluster.inject: bad source server";
+  if dst < 0 || dst >= Tree.size t.tree then invalid_arg "Cluster.inject: bad destination node";
+  let time = now t in
+  t.metrics.Metrics.injected <- t.metrics.Metrics.injected + 1;
+  Timeseries.incr t.metrics.Metrics.injected_ts time;
+  let q =
+    {
+      qid = t.next_qid;
+      src_server = src;
+      dst;
+      born = time;
+      hops = 0;
+      target = dst;
+      path = [];
+      shortcut_hops = 0;
+      best_dist = max_int;
+      stale_forwards = 0;
+      result_map = Node_map.empty;
+      result_meta = 0;
+      on_complete;
+    }
+  in
+  t.next_qid <- t.next_qid + 1;
+  (* The query originates at [src]: straight into its queue, no network. *)
+  deliver t ~to_:src
+    {
+      msg_from = src;
+      msg_load = 0.0;
+      msg_digest_version = 0;
+      msg_digest = None;
+      msg_payload = Query q;
+    }
+
+let inject_uniform_src ?on_complete t ~dst =
+  let s_count = num_servers t in
+  let rec pick tries =
+    let src = Splitmix.int t.rng s_count in
+    if t.servers.(src).Server.alive || tries > 32 then src else pick (tries + 1)
+  in
+  let src = pick 0 in
+  t.last_src <- src;
+  inject ?on_complete t ~src ~dst
+
+let last_injected_src t = t.last_src
+
+let run_until t time = Engine.run ~until:time t.engine
+
+let fetch ?on_done t ~client ~node =
+  if client < 0 || client >= num_servers t then invalid_arg "Cluster.fetch: bad client";
+  if node < 0 || node >= Tree.size t.tree then invalid_arg "Cluster.fetch: bad node";
+  t.metrics.Metrics.data_requests <- t.metrics.Metrics.data_requests + 1;
+  let fetch_id = t.next_fetch in
+  t.next_fetch <- fetch_id + 1;
+  Hashtbl.add t.pending_fetches fetch_id
+    { f_client = client; f_node = node; f_started = now t; f_tried = []; f_on_done = on_done };
+  fetch_attempt t fetch_id
+
+let owner_meta_version t node =
+  match Server.find_hosted t.servers.(t.owner_of.(node)) node with
+  | Some h -> h.Server.h_meta_version
+  | None -> 0
+
+let update_meta t node =
+  if node < 0 || node >= Tree.size t.tree then invalid_arg "Cluster.update_meta: bad node";
+  match Server.find_hosted t.servers.(t.owner_of.(node)) node with
+  | Some h ->
+    h.Server.h_meta_version <- h.Server.h_meta_version + 1;
+    h.Server.h_meta_version
+  | None -> 0 (* unreachable: owners host their nodes durably *)
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handoff t ~node ~to_ =
+  if node < 0 || node >= Tree.size t.tree then invalid_arg "Cluster.handoff: bad node";
+  if to_ < 0 || to_ >= num_servers t then invalid_arg "Cluster.handoff: bad recipient";
+  let donor = t.servers.(t.owner_of.(node)) in
+  let recipient = t.servers.(to_) in
+  if not recipient.Server.alive then invalid_arg "Cluster.handoff: recipient is dead";
+  (match Server.find_hosted recipient node with
+  | Some h when h.Server.h_kind = Server.Owned -> invalid_arg "Cluster.handoff: already the owner"
+  | Some _ | None -> ());
+  let time = now t in
+  let payload =
+    match Server.make_replica_payload donor node ~now:time with
+    | Some p -> p
+    | None -> invalid_arg "Cluster.handoff: donor does not host the node"
+  in
+  Server.remove_owned donor node;
+  Server.install_owned recipient payload ~now:time;
+  t.owner_of.(node) <- to_;
+  (* data moves with ownership *)
+  let holders = t.data_holders.(node) in
+  Array.iteri (fun i h -> if h = donor.Server.id then holders.(i) <- to_) holders;
+  if not (Array.exists (fun h -> h = to_) holders) then holders.(0) <- to_;
+  (* the donor remembers where the node went (soft pointer, like any cache
+     entry) so in-flight traffic it receives re-routes in one hop *)
+  let new_owner_map = Node_map.singleton ~is_owner:true ~server:to_ ~stamp:time () in
+  Cache.insert donor.Server.cache ~node new_owner_map;
+  (* the handoff protocol notifies the owners of the node's tree-neighbors
+     (the donor holds their maps): without this, routing toward the node
+     dead-ends once bounce-pruning clears the stale owner from adjacent
+     contexts — everyone else converges lazily via path propagation *)
+  List.iter
+    (fun nb ->
+      let nb_owner = t.servers.(t.owner_of.(nb)) in
+      Server.merge_into_known_map nb_owner node new_owner_map ~now:time)
+    (Tree.neighbors t.tree node)
+
+let kill t sid =
+  let s = t.servers.(sid) in
+  if s.Server.alive then begin
+    s.Server.alive <- false;
+    t.epochs.(sid) <- t.epochs.(sid) + 1;
+    if Load_meter.is_busy s.Server.load then Load_meter.end_busy s.Server.load (now t);
+    s.Server.serving <- false;
+    (* Queued work dies with the server; fetches fail over to other
+       holders. *)
+    Queue.iter
+      (fun msg ->
+        match msg.msg_payload with
+        | Query q -> finish_dropped t q Server_dead
+        | Data_request { fetch_id; _ } -> fetch_retry t fetch_id ~failed:sid
+        | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ -> ())
+      s.Server.queue;
+    Queue.clear s.Server.queue;
+    Queue.clear s.Server.ctrl_queue;
+    (* Fail-stop loses all soft state; ownership is durable. *)
+    List.iter (fun node -> Server.evict_replica s node) (Server.replica_nodes s);
+    Cache.clear s.Server.cache;
+    Hashtbl.reset s.Server.known_loads;
+    s.Server.session <- None
+  end
+
+let revive t sid =
+  let s = t.servers.(sid) in
+  if not s.Server.alive then begin
+    s.Server.alive <- true;
+    t.epochs.(sid) <- t.epochs.(sid) + 1;
+    (* a crash wiped the soft state; an ownerless server must rejoin with
+       its bootstrap contact or it knows nothing *)
+    seed_root_hint t.owner_of s
+  end
+
+let graceful_leave t sid =
+  let s = t.servers.(sid) in
+  if s.Server.alive then begin
+    let peers =
+      Array.to_list t.servers
+      |> List.filter (fun p -> p.Server.alive && p.Server.id <> sid)
+      |> List.map (fun p -> p.Server.id)
+    in
+    if peers = [] then invalid_arg "Cluster.graceful_leave: no alive peer to inherit";
+    let peers = Array.of_list peers in
+    List.iter
+      (fun node -> handoff t ~node ~to_:peers.(Splitmix.int t.rng (Array.length peers)))
+      (Server.owned_nodes s);
+    kill t sid
+  end
+
+let alive_servers t =
+  Array.fold_left (fun acc s -> if s.Server.alive then acc + 1 else acc) 0 t.servers
+
+(* ------------------------------------------------------------------ *)
+(* Observation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let total_replicas t =
+  Array.fold_left (fun acc s -> acc + s.Server.replica_count) 0 t.servers
+
+let replicas_per_level t which =
+  let levels = Tree.level_sizes t.tree in
+  let counts = Array.make (Array.length levels) 0 in
+  (match which with
+  | `Created -> Array.blit t.replicas_created_per_level 0 counts 0 (Array.length counts)
+  | `Current ->
+    Array.iter
+      (fun s ->
+        List.iter
+          (fun node ->
+            let d = Tree.depth t.tree node in
+            counts.(d) <- counts.(d) + 1)
+          (Server.replica_nodes s))
+      t.servers);
+  Array.mapi
+    (fun d c -> if levels.(d) = 0 then 0.0 else float_of_int c /. float_of_int levels.(d))
+    counts
+
+let mean_load t =
+  let time = now t in
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun s ->
+      if s.Server.alive then begin
+        sum := !sum +. Load_meter.raw_load s.Server.load time;
+        incr n
+      end)
+    t.servers;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+let max_load t =
+  let time = now t in
+  Array.fold_left
+    (fun acc s ->
+      if s.Server.alive then Float.max acc (Load_meter.raw_load s.Server.load time) else acc)
+    0.0 t.servers
+
+let check_invariants t =
+  Array.iter Server.check_invariants t.servers;
+  Array.iteri
+    (fun node owner ->
+      match Server.find_hosted t.servers.(owner) node with
+      | Some h when h.Server.h_kind = Server.Owned -> ()
+      | _ -> failwith "Cluster: owner does not host its node")
+    t.owner_of

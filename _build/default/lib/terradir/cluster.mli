@@ -1,0 +1,137 @@
+(** The simulated TerraDir deployment: servers, network, and protocol
+    drivers on top of the discrete-event engine.
+
+    Simulation model (§4.1 of the paper):
+    - each server is a single exponential-service-time processor with a
+      bounded FIFO request queue; query arrivals beyond the bound are
+      dropped;
+    - control traffic (replies, load probes/replies, replicate transfers) is
+      small and rare: it shares the server's busy time (fixed
+      [ctrl_service] cost) through a separate unbounded priority queue;
+    - the network is a constant application-layer delay, no contention;
+    - every message piggybacks sender load and (when stale at the receiver)
+      the sender's inverse-mapping digest;
+    - failures: {!kill} makes a server lose its soft state (replicas, cache,
+      digests, peer loads) and drop traffic; in-flight messages to a dead
+      server bounce back after one network delay, letting the sender prune
+      the dead host from its maps and retry — queries thus survive host
+      failures when an alternative replica is known. *)
+
+open Types
+
+(** Outcome of a data fetch (step two of lookup-then-retrieve). *)
+type fetch_outcome =
+  | Fetched of { latency : float }
+  | Fetch_failed
+
+type fetch_state = {
+  f_client : server_id;
+  f_node : node_id;
+  f_started : float;
+  mutable f_tried : server_id list;
+  f_on_done : (fetch_outcome -> unit) option;
+}
+
+type t = {
+  engine : Terradir_sim.Engine.t;
+  config : Config.t;
+  tree : Terradir_namespace.Tree.t;
+  servers : Server.t array;
+  owner_of : server_id array;  (** ground-truth owner per node (bootstrap) *)
+  rng : Terradir_util.Splitmix.t;
+  metrics : Metrics.t;
+  hop_budget : int;
+  replicas_created_per_level : int array;
+  data_holders : server_id array array;
+      (** node → servers durably holding its data (owner + static copies) *)
+  pending_fetches : (int, fetch_state) Hashtbl.t;
+  mutable next_qid : int;
+  mutable next_session : int;
+  mutable next_fetch : int;
+  mutable last_src : server_id;
+  epochs : int array;  (** bumped on kill/revive; cancels stale events *)
+}
+
+val create : ?monitor:bool -> config:Config.t -> tree:Terradir_namespace.Tree.t -> unit -> t
+(** Build the deployment: validate config, place node ownership (uniform or
+    round-robin per config), bootstrap each server's owned nodes and
+    neighbor contexts, give each server [bootstrap_peers] random known
+    peers, and (when [monitor], default true) schedule the per-second load
+    sampler and the periodic replica idle scans. *)
+
+val now : t -> float
+
+val server : t -> server_id -> Server.t
+
+val num_servers : t -> int
+
+val inject : ?on_complete:(outcome -> unit) -> t -> src:server_id -> dst:node_id -> unit
+(** Hand a fresh lookup to [src]'s request queue (no network delay — the
+    query originates there).  Subject to the queue bound.  [on_complete]
+    fires exactly once, with the result map and meta-data on resolution or
+    the drop reason otherwise — the hook client layers (retrieval,
+    search) build on. *)
+
+val fetch : ?on_done:(fetch_outcome -> unit) -> t -> client:server_id -> node:node_id -> unit
+(** Step two of §2.1's two-step access: request [node]'s data from one of
+    its data holders (retried across holders on failure).  Data requests
+    share the servers' bounded queues and busy time — data load is real
+    load, merely {e orthogonal} to the routing load this paper balances. *)
+
+val update_meta : t -> node_id -> int
+(** Owner-side meta-data update (§2.3: only the owner may modify
+    meta-data); bumps and returns the authoritative version.  Replicas
+    learn newer versions lazily, via replica payloads and merges. *)
+
+val owner_meta_version : t -> node_id -> int
+
+val inject_uniform_src : ?on_complete:(outcome -> unit) -> t -> dst:node_id -> unit
+(** [inject] from a uniformly random alive server. *)
+
+val last_injected_src : t -> server_id
+(** The source server chosen by the most recent {!inject_uniform_src}
+    (clients layering retrieval on a stream need to fetch from the same
+    peer the lookup ran at). *)
+
+val run_until : t -> float -> unit
+(** Advance the simulation clock. *)
+
+val handoff : t -> node:node_id -> to_:server_id -> unit
+(** Ownership transfer (membership-change extension; the paper assumes a
+    static owner per node).  The donor drops the node (shedding replicas
+    that no longer fit its budget), the recipient installs it as owned
+    with data, meta-data and routing context; ground-truth ownership and
+    data placement move with it.  Maps elsewhere keep stale owner entries
+    — routing self-corrects through the usual soft-state machinery (stale
+    forwards re-route; the donor keeps a cache pointer to the new owner).
+    @raise Invalid_argument if [to_] already hosts the node as owned, is
+    dead, or ids are out of range. *)
+
+val graceful_leave : t -> server_id -> unit
+(** Planned departure: hand every owned node to random alive peers, then
+    fail-stop.  Unlike {!kill} alone, no namespace region becomes
+    unreachable.  @raise Invalid_argument when no alive peer remains. *)
+
+val kill : t -> server_id -> unit
+(** Fail-stop: drops queued work, loses soft state, keeps owned nodes.
+    Idempotent. *)
+
+val revive : t -> server_id -> unit
+
+val alive_servers : t -> int
+
+val total_replicas : t -> int
+(** Replicas currently hosted across the cluster. *)
+
+val replicas_per_level : t -> [ `Current | `Created ] -> float array
+(** Average replicas per node at each namespace level (Fig. 7):
+    [`Current] counts replicas held now, [`Created] cumulative installs. *)
+
+val mean_load : t -> float
+(** Mean raw measured load over alive servers, at the current time. *)
+
+val max_load : t -> float
+
+val check_invariants : t -> unit
+(** Run {!Server.check_invariants} on every server plus cross-server checks
+    (owner placement consistency). *)

@@ -1,0 +1,104 @@
+type features = { caching : bool; replication : bool; digests : bool }
+
+type placement = Uniform | Round_robin
+
+type cache_policy = Path_propagation | Endpoints_only
+
+type t = {
+  num_servers : int;
+  placement : placement;
+  speed_spread : float;
+  service_mean : float;
+  ctrl_service : float;
+  network_delay : float;
+  queue_capacity : int;
+  load_window : float;
+  high_water : float;
+  high_water_factor : float;
+  min_delta : float;
+  r_fact : float;
+  r_map : int;
+  cache_slots : int;
+  cache_policy : cache_policy;
+  max_attempts : int;
+  retry_delay : float;
+  success_cooldown : float;
+  replica_idle_timeout : float;
+  eviction_scan_period : float;
+  hop_budget_slack : int;
+  bootstrap_peers : int;
+  max_remote_digests : int;
+  data_copies : int;
+  data_service_mean : float;
+  features : features;
+  oracle_maps : bool;
+  seed : int;
+}
+
+let bcr = { caching = true; replication = true; digests = true }
+
+let bc = { caching = true; replication = false; digests = false }
+
+let base = { caching = false; replication = false; digests = false }
+
+let default =
+  {
+    num_servers = 4096;
+    placement = Uniform;
+    speed_spread = 1.0;
+    service_mean = 0.020;
+    ctrl_service = 0.002;
+    network_delay = 0.025;
+    queue_capacity = 12;
+    load_window = 0.5;
+    high_water = 0.7;
+    high_water_factor = 1.6;
+    min_delta = 0.2;
+    r_fact = 2.0;
+    r_map = 4;
+    cache_slots = 24;
+    cache_policy = Path_propagation;
+    max_attempts = 3;
+    retry_delay = 1.0;
+    success_cooldown = 1.0;
+    replica_idle_timeout = 600.0;
+    eviction_scan_period = 10.0;
+    hop_budget_slack = 16;
+    bootstrap_peers = 8;
+    max_remote_digests = 64;
+    data_copies = 1;
+    data_service_mean = 0.040;
+    features = bcr;
+    oracle_maps = false;
+    seed = 42;
+  }
+
+let validate c =
+  let fail msg = invalid_arg ("Config: " ^ msg) in
+  if c.num_servers < 1 then fail "num_servers must be >= 1";
+  if c.speed_spread < 1.0 then fail "speed_spread must be >= 1";
+  if c.service_mean <= 0.0 then fail "service_mean must be positive";
+  if c.ctrl_service < 0.0 then fail "ctrl_service must be non-negative";
+  if c.network_delay < 0.0 then fail "network_delay must be non-negative";
+  if c.queue_capacity < 1 then fail "queue_capacity must be >= 1";
+  if c.load_window <= 0.0 then fail "load_window must be positive";
+  if not (c.high_water > 0.0 && c.high_water <= 1.0) then fail "high_water must be in (0, 1]";
+  if c.high_water_factor < 0.0 then fail "high_water_factor must be non-negative";
+  if not (c.min_delta > 0.0 && c.min_delta <= 1.0) then fail "min_delta must be in (0, 1]";
+  if c.r_fact < 0.0 then fail "r_fact must be non-negative";
+  if c.r_map < 1 then fail "r_map must be >= 1";
+  if c.cache_slots < 0 then fail "cache_slots must be non-negative";
+  if c.max_attempts < 1 then fail "max_attempts must be >= 1";
+  if c.retry_delay < 0.0 then fail "retry_delay must be non-negative";
+  if c.success_cooldown < 0.0 then fail "success_cooldown must be non-negative";
+  if c.replica_idle_timeout <= 0.0 then fail "replica_idle_timeout must be positive";
+  if c.eviction_scan_period <= 0.0 then fail "eviction_scan_period must be positive";
+  if c.hop_budget_slack < 0 then fail "hop_budget_slack must be non-negative";
+  if c.bootstrap_peers < 0 then fail "bootstrap_peers must be non-negative";
+  if c.max_remote_digests < 0 then fail "max_remote_digests must be non-negative";
+  if c.data_copies < 1 then fail "data_copies must be >= 1";
+  if c.data_service_mean <= 0.0 then fail "data_service_mean must be positive"
+
+let scaled c ~factor =
+  if factor <= 0.0 then invalid_arg "Config.scaled: factor must be positive";
+  { c with num_servers = max 2 (int_of_float (float_of_int c.num_servers *. factor)) }

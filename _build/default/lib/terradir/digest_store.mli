@@ -1,0 +1,39 @@
+(** Inverse-mapping digest management (§3.6).
+
+    Each server maintains (a) the Bloom digest of the node names {e it}
+    hosts, rebuilt (with a bumped version) whenever its hosted set changes,
+    and (b) a bounded LRU collection of other servers' digests learned from
+    piggybacked traffic.  Remote digests answer "does server [s] host node
+    [v]?" with one-sided error, enabling shortcut discovery (§3.6.1) and map
+    pruning (§3.6.2). *)
+
+type t
+
+val create : max_remote:int -> unit -> t
+
+val local_version : t -> int
+(** Starts at 0 with an empty digest; bumped by every {!rebuild_local}. *)
+
+val local : t -> Terradir_bloom.Bloom.t
+
+val rebuild_local : t -> hosted:int list -> unit
+(** Recompute the local digest over the hosted node ids. *)
+
+val record_remote : t -> server:int -> version:int -> Terradir_bloom.Bloom.t -> unit
+(** Keep the digest if its version is newer than what is stored. *)
+
+val remote_version : t -> server:int -> int option
+
+val test_remote : t -> server:int -> node:int -> bool option
+(** [Some answer] from server [server]'s stored digest; [None] when no
+    digest for that server is held. *)
+
+val fold_remote : t -> init:'a -> f:('a -> int -> Terradir_bloom.Bloom.t -> 'a) -> 'a
+(** Fold over (server, digest) pairs currently held. *)
+
+val remote_count : t -> int
+
+val last_version_sent : t -> peer:int -> int
+(** Highest local version already piggybacked to [peer] (0 if never). *)
+
+val note_version_sent : t -> peer:int -> int -> unit

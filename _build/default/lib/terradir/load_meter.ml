@@ -1,0 +1,94 @@
+type t = {
+  window : float;
+  mutable window_start : float;
+  mutable busy_in_window : float;
+  mutable last_window_load : float;
+  mutable prev_window_load : float;
+  mutable adjustment : float option;
+  mutable busy_since : float option;
+  mutable total_busy : float;
+  mutable last_event : float;
+}
+
+let create ~window =
+  if window <= 0.0 then invalid_arg "Load_meter.create: window must be positive";
+  {
+    window;
+    window_start = 0.0;
+    busy_in_window = 0.0;
+    last_window_load = 0.0;
+    prev_window_load = 0.0;
+    adjustment = None;
+    busy_since = None;
+    total_busy = 0.0;
+    last_event = 0.0;
+  }
+
+let window t = t.window
+
+(* Roll completed windows up to [now].  Busy intervals spanning a boundary
+   are split at the boundary. *)
+let advance t now =
+  while now >= t.window_start +. t.window do
+    let boundary = t.window_start +. t.window in
+    (match t.busy_since with
+    | Some s ->
+      t.busy_in_window <- t.busy_in_window +. (boundary -. s);
+      t.total_busy <- t.total_busy +. (boundary -. s);
+      t.busy_since <- Some boundary
+    | None -> ());
+    t.prev_window_load <- t.last_window_load;
+    t.last_window_load <- Float.min 1.0 (t.busy_in_window /. t.window);
+    t.busy_in_window <- 0.0;
+    t.window_start <- boundary;
+    (* A completed measurement supersedes the hysteresis adjustment. *)
+    t.adjustment <- None
+  done
+
+let check_time t now op =
+  if now < t.last_event then invalid_arg ("Load_meter." ^ op ^ ": time regressed");
+  t.last_event <- now
+
+let begin_busy t now =
+  check_time t now "begin_busy";
+  advance t now;
+  if t.busy_since <> None then invalid_arg "Load_meter.begin_busy: already busy";
+  t.busy_since <- Some now
+
+let end_busy t now =
+  check_time t now "end_busy";
+  advance t now;
+  match t.busy_since with
+  | None -> invalid_arg "Load_meter.end_busy: not busy"
+  | Some s ->
+    t.busy_in_window <- t.busy_in_window +. (now -. s);
+    t.total_busy <- t.total_busy +. (now -. s);
+    t.busy_since <- None
+
+let is_busy t = t.busy_since <> None
+
+let raw_load t now =
+  advance t now;
+  t.last_window_load
+
+let load t now =
+  advance t now;
+  match t.adjustment with Some a -> a | None -> t.last_window_load
+
+let sustained_load t now =
+  advance t now;
+  match t.adjustment with
+  | Some a -> a
+  | None -> Float.min t.last_window_load t.prev_window_load
+
+let set_adjustment t v = t.adjustment <- Some (Float.max 0.0 (Float.min 1.0 v))
+
+let busy_fraction_so_far t now =
+  advance t now;
+  let live = match t.busy_since with Some s -> now -. s | None -> 0.0 in
+  let elapsed = now -. t.window_start in
+  if elapsed <= 0.0 then 0.0 else Float.min 1.0 ((t.busy_in_window +. live) /. elapsed)
+
+let total_busy_time t now =
+  let live = match t.busy_since with Some s -> now -. s | None -> 0.0 in
+  t.total_busy +. live

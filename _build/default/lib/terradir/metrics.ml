@@ -1,0 +1,118 @@
+open Terradir_util
+
+type t = {
+  mutable injected : int;
+  mutable resolved : int;
+  mutable dropped_queue : int;
+  mutable dropped_hops : int;
+  mutable dropped_dead_end : int;
+  mutable dropped_server_dead : int;
+  mutable replicas_created : int;
+  mutable replicas_evicted : int;
+  mutable control_messages : int;
+  mutable sessions_started : int;
+  mutable sessions_aborted : int;
+  mutable query_forwards : int;
+  mutable shortcut_forwards : int;
+  mutable stale_forwards : int;
+  mutable data_requests : int;
+  mutable data_completed : int;
+  mutable data_dropped : int;
+  latency : Stats.t;
+  latency_sample : Stats.Reservoir.t;
+  hops : Stats.t;
+  data_latency : Stats.t;
+  meta_lag : Stats.t;
+  injected_ts : Timeseries.t;
+  drops_ts : Timeseries.t;
+  replicas_ts : Timeseries.t;
+  load_mean_ts : Timeseries.t;
+  load_max_ts : Timeseries.t;
+}
+
+let create ~rng =
+  {
+    injected = 0;
+    resolved = 0;
+    dropped_queue = 0;
+    dropped_hops = 0;
+    dropped_dead_end = 0;
+    dropped_server_dead = 0;
+    replicas_created = 0;
+    replicas_evicted = 0;
+    control_messages = 0;
+    sessions_started = 0;
+    sessions_aborted = 0;
+    query_forwards = 0;
+    shortcut_forwards = 0;
+    stale_forwards = 0;
+    data_requests = 0;
+    data_completed = 0;
+    data_dropped = 0;
+    latency = Stats.create ();
+    latency_sample = Stats.Reservoir.create ~capacity:8192 rng;
+    hops = Stats.create ();
+    data_latency = Stats.create ();
+    meta_lag = Stats.create ();
+    injected_ts = Timeseries.create ();
+    drops_ts = Timeseries.create ();
+    replicas_ts = Timeseries.create ();
+    load_mean_ts = Timeseries.create ();
+    load_max_ts = Timeseries.create ();
+  }
+
+let dropped_total t =
+  t.dropped_queue + t.dropped_hops + t.dropped_dead_end + t.dropped_server_dead
+
+let drop t reason ~now =
+  (match reason with
+  | Types.Queue_full -> t.dropped_queue <- t.dropped_queue + 1
+  | Types.Hop_budget -> t.dropped_hops <- t.dropped_hops + 1
+  | Types.Dead_end -> t.dropped_dead_end <- t.dropped_dead_end + 1
+  | Types.Server_dead -> t.dropped_server_dead <- t.dropped_server_dead + 1);
+  Timeseries.incr t.drops_ts now
+
+let resolve t ~latency ~hops ~now =
+  ignore now;
+  t.resolved <- t.resolved + 1;
+  Stats.add t.latency latency;
+  Stats.Reservoir.add t.latency_sample latency;
+  Stats.add t.hops (float_of_int hops)
+
+let replica_created t ~now =
+  t.replicas_created <- t.replicas_created + 1;
+  Timeseries.incr t.replicas_ts now
+
+let drop_fraction t =
+  if t.injected = 0 then 0.0 else float_of_int (dropped_total t) /. float_of_int t.injected
+
+let summary_rows t =
+  let f = Printf.sprintf in
+  [
+    ("queries injected", f "%d" t.injected);
+    ("queries resolved", f "%d" t.resolved);
+    ("dropped (queue full)", f "%d" t.dropped_queue);
+    ("dropped (hop budget)", f "%d" t.dropped_hops);
+    ("dropped (dead end)", f "%d" t.dropped_dead_end);
+    ("dropped (server dead)", f "%d" t.dropped_server_dead);
+    ("drop fraction", f "%.4f" (drop_fraction t));
+    ("mean latency (s)", f "%.4f" (Stats.mean t.latency));
+    ("mean hops", f "%.2f" (Stats.mean t.hops));
+    ("replicas created", f "%d" t.replicas_created);
+    ("replicas evicted", f "%d" t.replicas_evicted);
+    ("replication sessions", f "%d" t.sessions_started);
+    ("sessions aborted", f "%d" t.sessions_aborted);
+    ("control messages", f "%d" t.control_messages);
+    ("query forwards", f "%d" t.query_forwards);
+    ("digest shortcuts", f "%d" t.shortcut_forwards);
+    ("stale forwards", f "%d" t.stale_forwards);
+  ]
+  @
+  if t.data_requests = 0 then []
+  else
+    [
+      ("data fetches", f "%d" t.data_requests);
+      ("data fetched", f "%d" t.data_completed);
+      ("data dropped", f "%d" t.data_dropped);
+      ("mean fetch latency (s)", f "%.4f" (Stats.mean t.data_latency));
+    ]

@@ -1,0 +1,62 @@
+(** Cluster-wide measurement: the quantities §4 reports.
+
+    Counters are cumulative; time series are per-second (bin 1.0) unless
+    noted.  Everything is plain observation — no protocol behavior depends
+    on this module. *)
+
+open Terradir_util
+
+type t = {
+  (* query lifecycle *)
+  mutable injected : int;
+  mutable resolved : int;
+  mutable dropped_queue : int;
+  mutable dropped_hops : int;
+  mutable dropped_dead_end : int;
+  mutable dropped_server_dead : int;
+  (* replication protocol *)
+  mutable replicas_created : int;
+  mutable replicas_evicted : int;
+  mutable control_messages : int;
+  mutable sessions_started : int;
+  mutable sessions_aborted : int;
+  (* routing behavior *)
+  mutable query_forwards : int;
+  mutable shortcut_forwards : int;
+  mutable stale_forwards : int;
+  (* data retrieval (step two of lookup-then-retrieve) *)
+  mutable data_requests : int;
+  mutable data_completed : int;
+  mutable data_dropped : int;
+  (* distributions *)
+  latency : Stats.t;  (** resolution latency, seconds *)
+  latency_sample : Stats.Reservoir.t;
+  hops : Stats.t;  (** network hops per resolved query *)
+  data_latency : Stats.t;  (** fetch round-trip, seconds *)
+  meta_lag : Stats.t;
+      (** meta-data versions behind the owner at resolution — how stale the
+          soft-state replicas' annotations run (§2.3's freshness caveat) *)
+  (* per-second series *)
+  injected_ts : Timeseries.t;
+  drops_ts : Timeseries.t;
+  replicas_ts : Timeseries.t;
+  load_mean_ts : Timeseries.t;  (** mean server load sampled each second *)
+  load_max_ts : Timeseries.t;  (** max server load sampled each second *)
+}
+
+val create : rng:Splitmix.t -> t
+
+val dropped_total : t -> int
+
+val drop : t -> Types.drop_reason -> now:float -> unit
+(** Count one dropped query (all reasons feed [drops_ts]). *)
+
+val resolve : t -> latency:float -> hops:int -> now:float -> unit
+
+val replica_created : t -> now:float -> unit
+
+val drop_fraction : t -> float
+(** Dropped / injected over the whole run (Fig. 5's metric). *)
+
+val summary_rows : t -> (string * string) list
+(** Human-readable key/value summary for reports. *)

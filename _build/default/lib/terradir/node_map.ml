@@ -1,0 +1,125 @@
+open Terradir_util
+
+type entry = { server : int; is_owner : bool; stamp : float }
+
+type t = entry list
+(* Invariant: no duplicate servers; owners first, then newest-first.
+   Maps are tiny (≤ r_map, typically 4) and merged on every query hop, so
+   the implementation favors small-list operations over hashing. *)
+
+let empty = []
+
+let entries t = t
+
+let servers t = List.map (fun e -> e.server) t
+
+let size = List.length
+
+let is_empty t = t = []
+
+let mem t s = List.exists (fun e -> e.server = s) t
+
+let owner t = Option.map (fun e -> e.server) (List.find_opt (fun e -> e.is_owner) t)
+
+let order a b =
+  (* Owners first; ties broken newest-first, then by server id for
+     determinism. *)
+  match (b.is_owner, a.is_owner) with
+  | true, false -> 1
+  | false, true -> -1
+  | _ -> (
+    match compare (b.stamp : float) a.stamp with 0 -> compare a.server b.server | c -> c)
+
+(* Newest stamp wins; the owner flag is sticky (a server once seen as owner
+   stays owner even if a later stale entry forgot the flag).  Quadratic,
+   which beats hashing at these sizes. *)
+let dedup entries =
+  let combine x e =
+    { server = e.server; is_owner = x.is_owner || e.is_owner; stamp = Float.max x.stamp e.stamp }
+  in
+  let rec add acc e =
+    match acc with
+    | [] -> [ e ]
+    | x :: rest -> if x.server = e.server then combine x e :: rest else x :: add rest e
+  in
+  List.fold_left add [] entries
+
+let truncate ~max entries =
+  let sorted = List.sort order entries in
+  List.filteri (fun i _ -> i < max) sorted
+
+let of_entries ~max entries =
+  if max < 1 then invalid_arg "Node_map.of_entries: max must be >= 1";
+  truncate ~max (dedup entries)
+
+let singleton ?(is_owner = false) ~server ~stamp () = [ { server; is_owner; stamp } ]
+
+let add ~max t entry = of_entries ~max (entry :: t)
+
+let remove t s = List.filter (fun e -> e.server <> s) t
+
+(* Draw [want] entries uniformly without replacement from a small list. *)
+let rec draw rng pool want acc =
+  if want <= 0 then acc
+  else
+    match pool with
+    | [] -> acc
+    | _ ->
+      let i = Splitmix.int rng (List.length pool) in
+      let rec split k seen = function
+        | [] -> assert false
+        | e :: rest -> if k = 0 then (e, List.rev_append seen rest) else split (k - 1) (e :: seen) rest
+      in
+      let e, rest = split i [] pool in
+      draw rng rest (want - 1) (e :: acc)
+
+(* [subsumes a b]: merging [b] into [a] cannot change [a] — every entry of
+   [b] is already present with an equal-or-newer stamp and owner flag.  The
+   common case on busy paths (the same maps circulate), worth a scan to
+   avoid reallocating stored maps. *)
+let subsumes a b =
+  List.for_all
+    (fun eb ->
+      List.exists
+        (fun ea ->
+          ea.server = eb.server && ea.stamp >= eb.stamp && (ea.is_owner || not eb.is_owner))
+        a)
+    b
+
+let merge ~max rng a b =
+  if max < 1 then invalid_arg "Node_map.merge: max must be >= 1";
+  if (a == b || subsumes a b) && size a <= max then a
+  else begin
+    let all = dedup (List.rev_append a b) in
+    let owners, rest = List.partition (fun e -> e.is_owner) all in
+    let owners = truncate ~max owners in
+    let slots = max - List.length owners in
+    if slots <= 0 then owners
+    else begin
+      (* Keep the newest half of the remaining budget, fill the rest
+         randomly from what is left so maps decorrelate across servers. *)
+      let rest = List.sort order rest in
+      let keep_newest = (slots + 1) / 2 in
+      let newest = List.filteri (fun i _ -> i < keep_newest) rest in
+      let remainder = List.filteri (fun i _ -> i >= keep_newest) rest in
+      let filled = draw rng remainder (slots - List.length newest) [] in
+      List.sort order (owners @ newest @ filled)
+    end
+  end
+
+let filter t ~f = List.filter (fun e -> e.is_owner || f e) t
+
+let random_server ?exclude t rng =
+  let eligible =
+    match exclude with None -> t | Some s -> List.filter (fun e -> e.server <> s) t
+  in
+  match eligible with
+  | [] -> None
+  | l -> Some (List.nth l (Splitmix.int rng (List.length l))).server
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; "
+       (List.map
+          (fun e -> Printf.sprintf "%d%s@%.2f" e.server (if e.is_owner then "*" else "") e.stamp)
+          t))

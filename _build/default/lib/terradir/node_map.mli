@@ -1,0 +1,64 @@
+(** Node maps: bounded server lists resolving a node name to hosts (§3.7).
+
+    A map is "possibly incomplete and inaccurate": it never claims to list
+    every host and entries can be stale.  Policies implemented here, per the
+    paper:
+
+    - {b size}: at most [max] entries, both at rest and on the wire;
+    - {b owner pinning}: an entry flagged as the owner survives every merge
+      and truncation (ownership is the one durable fact about a node);
+    - {b recency preference}: the newest non-owner entries are kept first
+      (owners advertise their most recently created replicas);
+    - {b random fill}: remaining slots are chosen at random from what is
+      left, so different servers end up with decorrelated maps.
+
+    Maps are immutable values; all operations return new maps. *)
+
+type entry = { server : int; is_owner : bool; stamp : float }
+(** [stamp] is the simulation time this entry was (last) created/refreshed. *)
+
+type t
+
+val empty : t
+
+val singleton : ?is_owner:bool -> server:int -> stamp:float -> unit -> t
+
+val of_entries : max:int -> entry list -> t
+(** Dedup by server (newest stamp wins, owner flag is sticky) and truncate
+    under the policy above (deterministically — random fill only applies to
+    {!merge}). *)
+
+val entries : t -> entry list
+(** Owner entries first, then newest-first. *)
+
+val servers : t -> int list
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Membership of a server. *)
+
+val owner : t -> int option
+(** The owner entry's server, if the map knows it. *)
+
+val add : max:int -> t -> entry -> t
+(** Insert/refresh one entry, truncating to [max] under the policy. *)
+
+val remove : t -> int -> t
+(** Drop a server's entry (e.g. learned stale). *)
+
+val merge : max:int -> Terradir_util.Splitmix.t -> t -> t -> t
+(** Merge two maps for the same node: owners kept, then the newest entries,
+    then random fill from the remainder (§3.7 "map merging").  Call twice
+    with different [rng] draws to produce the kept-vs-propagated variants. *)
+
+val filter : t -> f:(entry -> bool) -> t
+(** Keep entries satisfying [f]; owner entries are exempt (map filtering is
+    conservative and must never orphan a node). *)
+
+val random_server : ?exclude:int -> t -> Terradir_util.Splitmix.t -> int option
+(** Uniform choice among entries (minus [exclude]) — replica selection. *)
+
+val pp : Format.formatter -> t -> unit

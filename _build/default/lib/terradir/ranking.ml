@@ -1,0 +1,31 @@
+type t = { weights : (int, float) Hashtbl.t }
+
+let create () = { weights = Hashtbl.create 64 }
+
+let weight t node = Option.value ~default:0.0 (Hashtbl.find_opt t.weights node)
+
+let touch t node = Hashtbl.replace t.weights node (weight t node +. 1.0)
+
+let seed t node w = Hashtbl.replace t.weights node (Float.max 0.0 w)
+
+let decay t =
+  let floor = 1.0 /. 64.0 in
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun node w ->
+      let w' = w /. 2.0 in
+      if w' < floor then dead := node :: !dead else Hashtbl.replace t.weights node w')
+    t.weights;
+  List.iter (Hashtbl.remove t.weights) !dead
+
+let remove t node = Hashtbl.remove t.weights node
+
+let compare_desc (n1, w1) (n2, w2) =
+  match compare (w2 : float) w1 with 0 -> compare (n1 : int) n2 | c -> c
+
+let ranked_desc t ~among =
+  List.sort compare_desc (List.map (fun n -> (n, weight t n)) among)
+
+let ranked_asc t ~among = List.rev (ranked_desc t ~among)
+
+let total_weight t ~among = List.fold_left (fun acc n -> acc +. weight t n) 0.0 among

@@ -1,0 +1,38 @@
+(** Replica-creation decision logic (§3.3) — the pure parts.
+
+    The message exchange (probe → reply → replicate) is driven by
+    {!Cluster}; this module owns the decisions: when a session should start,
+    how many of the top-ranked nodes to shed, and the post-session load
+    adjustments. *)
+
+open Types
+
+val effective_high_water : Server.t -> now:float -> float
+(** The adaptive T_high of §3.1: the configured floor, raised in proportion
+    to the overall system utilization as estimated from the server's
+    in-band peer-load table (own load included):
+    [max high_water (min 0.95 (high_water_factor × mean))]. *)
+
+val should_start : Server.t -> now:float -> bool
+(** True when this server should open a replication session: replication
+    enabled, load ≥ {!effective_high_water}, no session in flight, past any
+    backoff, and it hosts at least one node. *)
+
+val shed_target : l_source:float -> l_dest:float -> float
+(** The fraction of the source's demand weight to move:
+    [(l_source − l_dest) / (2 · l_source)] — step 3's right-hand side. *)
+
+val acceptable : config:Config.t -> l_source:float -> l_dest:float -> bool
+(** Step 3's guard: [l_source − l_dest ≥ min_delta]. *)
+
+val select_nodes : Server.t -> l_source:float -> l_dest:float -> now:float -> node_id list
+(** The smallest top-ranked prefix of hosted nodes whose cumulative weight
+    reaches the shed target (at least one node when any weight exists;
+    empty when the server has no recorded demand).  Capped at
+    [max_shed_nodes] to bound message size. *)
+
+val max_shed_nodes : int
+
+val adjusted_load : l_source:float -> l_dest:float -> float
+(** Step 4's hysteresis value [(l_source + l_dest) / 2], installed on both
+    parties after a successful shed. *)

@@ -1,0 +1,170 @@
+open Terradir_namespace
+open Types
+
+type decision =
+  | Resolve
+  | Forward of { via_node : node_id; to_server : server_id; shortcut : bool }
+  | Dead_end
+
+type candidate = { c_node : node_id; c_dist : int; c_from_cache : bool }
+
+(* Scan the knowledge set, collecting candidates sorted by distance.  The
+   scan covers tree-neighbors of hosted nodes (the neighbor_maps table is
+   exactly that set) and cached nodes.  Hosted nodes themselves need no
+   entry: for any hosted [n] other than [dst], some tree-neighbor of [n] is
+   strictly closer to [dst], and all such neighbors are in the table. *)
+let candidates (s : Server.t) ~dst =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun node (r : Server.neighbor_ref) ->
+      if not (Node_map.is_empty r.n_map) then
+        acc := { c_node = node; c_dist = Tree.distance s.tree node dst; c_from_cache = false } :: !acc)
+    s.neighbor_maps;
+  Cache.iter s.cache ~f:(fun node map ->
+      if not (Node_map.is_empty map) then
+        acc := { c_node = node; c_dist = Tree.distance s.tree node dst; c_from_cache = true } :: !acc);
+  List.sort
+    (fun a b ->
+      match compare a.c_dist b.c_dist with 0 -> compare a.c_node b.c_node | c -> c)
+    !acc
+
+(* Allocation-free fast path returning only the minimum candidate.
+
+   Instead of scanning all tree-neighbors of hosted nodes, scan the hosted
+   nodes themselves: for hosted [h] ≠ dst, the neighbor of [h] nearest to
+   [dst] is the one toward [dst] — the parent when [dst] is outside [h]'s
+   subtree, else the child whose subtree holds [dst] — at distance
+   [distance h dst − 1].  So the best neighbor candidate overall is derived
+   from the hosted node minimizing [distance h dst], at a third of the
+   scanning cost.  Cached nodes are scanned as themselves. *)
+let best_candidate (s : Server.t) ~dst =
+  let best_hosted = ref (-1) and best_hosted_dist = ref max_int in
+  Hashtbl.iter
+    (fun node (_ : Server.hosted) ->
+      let d = Tree.distance s.tree node dst in
+      if d < !best_hosted_dist || (d = !best_hosted_dist && node < !best_hosted) then begin
+        best_hosted := node;
+        best_hosted_dist := d
+      end)
+    s.hosted;
+  let best_node = ref (-1) and best_dist = ref max_int and best_cache = ref false in
+  if !best_hosted >= 0 then begin
+    let h = !best_hosted in
+    let toward =
+      if Tree.is_ancestor s.tree h dst then Tree.ancestor_at_depth s.tree dst (Tree.depth s.tree h + 1)
+      else match Tree.parent s.tree h with Some p -> p | None -> assert false
+    in
+    best_node := toward;
+    best_dist := !best_hosted_dist - 1
+  end;
+  Cache.iter s.cache ~f:(fun node map ->
+      if not (Node_map.is_empty map) then begin
+        let d = Tree.distance s.tree node dst in
+        if d < !best_dist || (d = !best_dist && node < !best_node) then begin
+          best_node := node;
+          best_dist := d;
+          best_cache := true
+        end
+      end);
+  if !best_node < 0 then None
+  else Some { c_node = !best_node; c_dist = !best_dist; c_from_cache = !best_cache }
+
+let best_distance cands = match cands with [] -> None | c :: _ -> Some c.c_dist
+
+let max_digests_consulted = 8
+(* Bloom false positives compound across (ancestors × digests) tests, so a
+   routing step consults only the most recently refreshed digests. *)
+
+let max_shortcut_walk = 6
+(* Ancestors of dst tested per step.  A shortcut farther out is still a
+   shortcut, but the conventional route makes progress every hop and gets
+   another chance to find it next step; bounding the walk bounds both the
+   per-step cost and the false-positive exposure. *)
+
+(* §3.6.1: walk dst's ancestor chain from dst upward (distance 0, 1, ...)
+   and stop as soon as the chain distance reaches the best conventional
+   candidate — a digest hit beyond that point cannot improve the route. *)
+let digest_shortcut (s : Server.t) ~dst ~better_than =
+  if not s.config.Config.features.Config.digests then None
+  else begin
+    let _, consulted_rev =
+      Digest_store.fold_remote s.digests ~init:(0, []) ~f:(fun (n, acc) server bloom ->
+          if n >= max_digests_consulted || server = s.id then (n, acc)
+          else (n + 1, (server, bloom) :: acc))
+    in
+    let consulted = List.rev consulted_rev (* fold is MRU-first; restore order *) in
+    if consulted = [] then None
+    else
+      let limit = min better_than max_shortcut_walk in
+      let rec walk node dist =
+        if dist >= limit then None
+        else begin
+          let h = Terradir_bloom.Bloom.hash node in
+          match
+            List.find_opt (fun (_, bloom) -> Terradir_bloom.Bloom.mem_hashed bloom h) consulted
+          with
+          | Some (server, _) -> Some (node, server, dist)
+          | None -> (
+            match Tree.parent s.tree node with
+            | Some p -> walk p (dist + 1)
+            | None -> None)
+        end
+      in
+      walk dst 0
+  end
+
+(* Pick a server from the candidate node's map: digest-pruned first, raw as
+   fallback (pruning is best-effort and must not strand the query). *)
+let select_server (s : Server.t) node map =
+  let pruned = Server.prune_map_with_digests s node map in
+  match Node_map.random_server ~exclude:s.id pruned s.rng with
+  | Some _ as r -> r
+  | None -> Node_map.random_server ~exclude:s.id map s.rng
+
+let forward_via ?oracle (s : Server.t) c =
+  let map =
+    match oracle with
+    | Some truth ->
+      (* Perfect accuracy: select among the node's actual current hosts.
+         Local state is still touched so demand accounting matches. *)
+      if c.c_from_cache then ignore (Cache.use s.cache ~node:c.c_node);
+      let m = truth c.c_node in
+      if Node_map.is_empty m then None else Some m
+    | None ->
+      if c.c_from_cache then Cache.use s.cache ~node:c.c_node else Server.neighbor_map s c.c_node
+  in
+  match map with
+  | None -> None
+  | Some map -> (
+    match select_server s c.c_node map with
+    | Some to_server -> Some (Forward { via_node = c.c_node; to_server; shortcut = false })
+    | None -> None)
+
+let decide ?(shortcut_bound = max_int) ?oracle (s : Server.t) ~dst =
+  if Server.hosts s dst then Resolve
+  else begin
+    let best = best_candidate s ~dst in
+    let best_dist = match best with Some c -> c.c_dist | None -> max_int in
+    let shortcut =
+      if oracle <> None then None
+      else digest_shortcut s ~dst ~better_than:(min best_dist shortcut_bound)
+    in
+    match shortcut with
+    | Some (via_node, to_server, _) -> Forward { via_node; to_server; shortcut = true }
+    | None -> (
+      (* Fast path: the nearest candidate almost always yields a server;
+         fall back to the full nearest-first scan when it does not. *)
+      match Option.bind best (forward_via ?oracle s) with
+      | Some decision -> decision
+      | None ->
+        let rec attempt = function
+          | [] -> Dead_end
+          | c :: rest -> (
+            match forward_via ?oracle s c with Some decision -> decision | None -> attempt rest)
+        in
+        attempt (candidates s ~dst)
+      )
+  end
+
+let closest_known_distance s ~dst =
+  if Server.hosts s dst then Some 0 else best_distance (candidates s ~dst)

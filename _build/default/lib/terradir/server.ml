@@ -1,0 +1,408 @@
+open Terradir_util
+open Terradir_namespace
+open Types
+
+type host_kind = Owned | Replicated
+
+type hosted = {
+  h_node : node_id;
+  h_kind : host_kind;
+  mutable h_map : Node_map.t;
+  mutable h_meta_version : int;
+  mutable h_last_used : float;
+}
+
+type session = { session_id : int; mutable tried : server_id list; mutable attempts : int }
+
+type neighbor_ref = { mutable n_map : Node_map.t; mutable refs : int }
+
+type t = {
+  id : server_id;
+  config : Config.t;
+  tree : Tree.t;
+  rng : Splitmix.t;
+  speed : float;
+  hosted : (node_id, hosted) Hashtbl.t;
+  neighbor_maps : (node_id, neighbor_ref) Hashtbl.t;
+  mutable owned_count : int;
+  mutable replica_count : int;
+  cache : Cache.t;
+  digests : Digest_store.t;
+  load : Load_meter.t;
+  ranking : Ranking.t;
+  known_loads : (server_id, float) Hashtbl.t;
+  queue : message Queue.t;
+  ctrl_queue : message Queue.t;
+  mutable serving : bool;
+  mutable session : session option;
+  mutable session_backoff_until : float;
+  mutable last_decay : float;
+  mutable alive : bool;
+  mutable queries_processed : int;
+  mutable replicas_installed : int;
+  mutable replicas_evicted : int;
+}
+
+let create ~id ~config ~tree ?(speed = 1.0) ~rng () =
+  if speed <= 0.0 then invalid_arg "Server.create: speed must be positive";
+  {
+    id;
+    config;
+    tree;
+    rng;
+    speed;
+    hosted = Hashtbl.create 32;
+    neighbor_maps = Hashtbl.create 64;
+    owned_count = 0;
+    replica_count = 0;
+    cache = Cache.create ~slots:config.Config.cache_slots ~r_map:config.Config.r_map ~rng;
+    digests = Digest_store.create ~max_remote:config.Config.max_remote_digests ();
+    load = Load_meter.create ~window:config.Config.load_window;
+    ranking = Ranking.create ();
+    known_loads = Hashtbl.create 32;
+    queue = Queue.create ();
+    ctrl_queue = Queue.create ();
+    serving = false;
+    session = None;
+    session_backoff_until = 0.0;
+    last_decay = 0.0;
+    alive = true;
+    queries_processed = 0;
+    replicas_installed = 0;
+    replicas_evicted = 0;
+  }
+
+let find_hosted t node = Hashtbl.find_opt t.hosted node
+
+let hosts t node = Hashtbl.mem t.hosted node
+
+let hosted_nodes t = Hashtbl.fold (fun node _ acc -> node :: acc) t.hosted []
+
+let nodes_of_kind t kind =
+  Hashtbl.fold (fun node h acc -> if h.h_kind = kind then node :: acc else acc) t.hosted []
+
+let owned_nodes t = nodes_of_kind t Owned
+
+let replica_nodes t = nodes_of_kind t Replicated
+
+let rebuild_digest t = Digest_store.rebuild_local t.digests ~hosted:(hosted_nodes t)
+
+let neighbor_map t node =
+  Option.map (fun r -> r.n_map) (Hashtbl.find_opt t.neighbor_maps node)
+
+let known_map t node =
+  match find_hosted t node with
+  | Some h -> Some h.h_map
+  | None -> (
+    match neighbor_map t node with
+    | Some _ as m -> m
+    | None -> Cache.peek t.cache ~node)
+
+let r_map t = t.config.Config.r_map
+
+(* Reference one tree-neighbor context, merging in [map] as the initial or
+   additional view. *)
+let ref_neighbor t node map =
+  match Hashtbl.find_opt t.neighbor_maps node with
+  | Some r ->
+    r.refs <- r.refs + 1;
+    if not (Node_map.is_empty map) then r.n_map <- Node_map.merge ~max:(r_map t) t.rng r.n_map map
+  | None -> Hashtbl.add t.neighbor_maps node { n_map = map; refs = 1 }
+
+let unref_neighbor t node =
+  match Hashtbl.find_opt t.neighbor_maps node with
+  | None -> ()
+  | Some r ->
+    r.refs <- r.refs - 1;
+    if r.refs <= 0 then Hashtbl.remove t.neighbor_maps node
+
+let install_hosted t node kind ~map ~meta_version ~context ~now =
+  Hashtbl.replace t.hosted node
+    { h_node = node; h_kind = kind; h_map = map; h_meta_version = meta_version; h_last_used = now };
+  (match kind with
+  | Owned -> t.owned_count <- t.owned_count + 1
+  | Replicated -> t.replica_count <- t.replica_count + 1);
+  List.iter
+    (fun nb ->
+      let nb_map =
+        match List.assoc_opt nb context with Some m -> m | None -> Node_map.empty
+      in
+      ref_neighbor t nb nb_map)
+    (Tree.neighbors t.tree node);
+  rebuild_digest t
+
+let add_owned t node ~owner_of ~now =
+  if hosts t node then invalid_arg "Server.add_owned: already hosted";
+  let map = Node_map.singleton ~is_owner:true ~server:t.id ~stamp:now () in
+  let context =
+    List.map
+      (fun nb -> (nb, Node_map.singleton ~is_owner:true ~server:(owner_of nb) ~stamp:now ()))
+      (Tree.neighbors t.tree node)
+  in
+  install_hosted t node Owned ~map ~meta_version:0 ~context ~now
+
+(* Bounded merges can push a replica host's own (non-owner) entry out of its
+   hosted node's map; the map a host advertises must always include itself. *)
+let ensure_self t h ~now =
+  if not (Node_map.mem h.h_map t.id) then
+    h.h_map <-
+      Node_map.add ~max:(r_map t) h.h_map
+        { Node_map.server = t.id; is_owner = (h.h_kind = Owned); stamp = now }
+
+let merge_into_known_map t node map ~now =
+  if Node_map.is_empty map then ()
+  else
+    match find_hosted t node with
+    | Some h ->
+      h.h_map <- Node_map.merge ~max:(r_map t) t.rng h.h_map map;
+      ensure_self t h ~now
+    | None -> (
+      match Hashtbl.find_opt t.neighbor_maps node with
+      | Some r -> r.n_map <- Node_map.merge ~max:(r_map t) t.rng r.n_map map
+      | None -> if t.config.Config.features.Config.caching then Cache.insert t.cache ~node map)
+
+let touch_node t node ~now =
+  Ranking.touch t.ranking node;
+  (match find_hosted t node with Some h -> h.h_last_used <- now | None -> ());
+  (* Periodic exponential decay keeps weights tracking recent demand. *)
+  while now -. t.last_decay >= t.config.Config.load_window do
+    Ranking.decay t.ranking;
+    t.last_decay <- t.last_decay +. t.config.Config.load_window
+  done
+
+let note_peer_load t peer load = if peer <> t.id then Hashtbl.replace t.known_loads peer load
+
+let min_load_peer t ~exclude =
+  Hashtbl.fold
+    (fun peer load best ->
+      if List.mem peer exclude then best
+      else
+        match best with
+        | Some (_, l) when l <= load -> best
+        | _ -> Some (peer, load))
+    t.known_loads None
+
+let replica_budget t =
+  int_of_float (t.config.Config.r_fact *. float_of_int t.owned_count) - t.replica_count
+
+let evict_replica t node =
+  match find_hosted t node with
+  | Some h when h.h_kind = Replicated ->
+    Hashtbl.remove t.hosted node;
+    t.replica_count <- t.replica_count - 1;
+    t.replicas_evicted <- t.replicas_evicted + 1;
+    List.iter (unref_neighbor t) (Tree.neighbors t.tree node);
+    Ranking.remove t.ranking node;
+    rebuild_digest t
+  | Some _ -> invalid_arg "Server.evict_replica: node is owned, not a replica"
+  | None -> invalid_arg "Server.evict_replica: node not hosted"
+
+let remove_owned t node =
+  match find_hosted t node with
+  | Some h when h.h_kind = Owned ->
+    Hashtbl.remove t.hosted node;
+    t.owned_count <- t.owned_count - 1;
+    List.iter (unref_neighbor t) (Tree.neighbors t.tree node);
+    Ranking.remove t.ranking node;
+    (* The replica budget shrank with the owned count; shed the overflow. *)
+    let max_replicas = int_of_float (t.config.Config.r_fact *. float_of_int t.owned_count) in
+    if t.replica_count > max_replicas then begin
+      let victims = Ranking.ranked_asc t.ranking ~among:(replica_nodes t) in
+      let rec shed = function
+        | (v, _) :: rest when t.replica_count > max_replicas ->
+          evict_replica t v;
+          shed rest
+        | _ -> ()
+      in
+      shed victims
+    end;
+    rebuild_digest t
+  | Some _ -> invalid_arg "Server.remove_owned: node is a replica, not owned"
+  | None -> invalid_arg "Server.remove_owned: node not hosted"
+
+let install_owned t payload ~now =
+  let node = payload.rp_node in
+  (match find_hosted t node with
+  | Some h when h.h_kind = Replicated -> evict_replica t node
+  | Some _ -> invalid_arg "Server.install_owned: already owned"
+  | None -> ());
+  let map =
+    Node_map.add ~max:(r_map t) payload.rp_map
+      { Node_map.server = t.id; is_owner = true; stamp = now }
+  in
+  install_hosted t node Owned ~map ~meta_version:payload.rp_meta_version
+    ~context:payload.rp_context ~now;
+  Ranking.seed t.ranking node payload.rp_weight_hint
+
+let install_replica t payload ~now =
+  let node = payload.rp_node in
+  match find_hosted t node with
+  | Some h ->
+    (* Already hosted: fold in the newer view (soft-state merge). *)
+    h.h_map <- Node_map.merge ~max:(r_map t) t.rng h.h_map payload.rp_map;
+    ensure_self t h ~now;
+    if payload.rp_meta_version > h.h_meta_version then h.h_meta_version <- payload.rp_meta_version;
+    List.iter
+      (fun (nb, map) ->
+        match Hashtbl.find_opt t.neighbor_maps nb with
+        | Some r -> r.n_map <- Node_map.merge ~max:(r_map t) t.rng r.n_map map
+        | None -> ())
+      payload.rp_context;
+    `Merged
+  | None ->
+    (* Make room under the replication factor by evicting lowest-ranked
+       replicas (§3.5) — but only replicas the incoming node clearly
+       dominates.  Displacing comparably-warm replicas would thrash: under
+       flat demand every server at budget would keep swapping replicas
+       forever.  The margin asks for a 2× demand gap. *)
+    let displacement_margin = 2.0 in
+    let max_replicas = int_of_float (t.config.Config.r_fact *. float_of_int t.owned_count) in
+    let deficit () = t.replica_count + 1 - max_replicas in
+    if max_replicas < 1 then `Rejected
+    else begin
+      if deficit () > 0 then begin
+        let victims = Ranking.ranked_asc t.ranking ~among:(replica_nodes t) in
+        let rec evict = function
+          | (v, w) :: rest when deficit () > 0 && w *. displacement_margin < payload.rp_weight_hint ->
+            evict_replica t v;
+            evict rest
+          | _ -> ()
+        in
+        evict victims
+      end;
+      if deficit () > 0 then `Rejected
+      else begin
+        let map =
+          Node_map.add ~max:(r_map t) payload.rp_map
+            { Node_map.server = t.id; is_owner = false; stamp = now }
+        in
+        install_hosted t node Replicated ~map ~meta_version:payload.rp_meta_version
+          ~context:payload.rp_context ~now;
+        Ranking.seed t.ranking node payload.rp_weight_hint;
+        t.replicas_installed <- t.replicas_installed + 1;
+        `Installed
+      end
+    end
+
+let idle_scan t ~now =
+  let timeout = t.config.Config.replica_idle_timeout in
+  let victims =
+    Hashtbl.fold
+      (fun node h acc ->
+        if h.h_kind = Replicated && now -. h.h_last_used > timeout then node :: acc else acc)
+      t.hosted []
+  in
+  List.iter (evict_replica t) victims;
+  victims
+
+let queue_length t = Queue.length t.queue
+
+let prune_map_with_digests t node map =
+  if not t.config.Config.features.Config.digests then map
+  else
+    Node_map.filter map ~f:(fun e ->
+        match Digest_store.test_remote t.digests ~server:e.Node_map.server ~node with
+        | Some false -> false (* digest denial is authoritative: no false negatives *)
+        | Some true | None -> true)
+
+let make_replica_payload t node ~now =
+  match find_hosted t node with
+  | None -> None
+  | Some h ->
+    let context =
+      List.map
+        (fun nb ->
+          let map = match known_map t nb with Some m -> m | None -> Node_map.empty in
+          (nb, map))
+        (Tree.neighbors t.tree node)
+    in
+    ignore now;
+    Some
+      {
+        rp_node = node;
+        rp_meta_version = h.h_meta_version;
+        rp_map = h.h_map;
+        rp_context = context;
+        rp_weight_hint = Ranking.weight t.ranking node /. 2.0;
+      }
+
+let forget_server t node server =
+  match find_hosted t node with
+  | Some h -> h.h_map <- Node_map.remove h.h_map server
+  | None -> (
+    match Hashtbl.find_opt t.neighbor_maps node with
+    | Some r -> r.n_map <- Node_map.remove r.n_map server
+    | None ->
+      Cache.update t.cache ~node ~f:(fun map -> Node_map.remove map server))
+
+let forget_peer t peer = Hashtbl.remove t.known_loads peer
+
+let record_new_replica t node target ~now =
+  match find_hosted t node with
+  | None -> ()
+  | Some h ->
+    h.h_map <-
+      Node_map.add ~max:(r_map t) h.h_map
+        { Node_map.server = target; is_owner = false; stamp = now };
+    ensure_self t h ~now
+
+let state_kinds t =
+  let hosted =
+    Hashtbl.fold
+      (fun node h acc ->
+        (node, match h.h_kind with Owned -> "Owned" | Replicated -> "Replicated") :: acc)
+      t.hosted []
+  in
+  let neighboring =
+    Hashtbl.fold
+      (fun node _ acc -> if hosts t node then acc else (node, "Neighboring") :: acc)
+      t.neighbor_maps []
+  in
+  let cached = ref [] in
+  Cache.iter t.cache ~f:(fun node _ ->
+      if (not (hosts t node)) && not (Hashtbl.mem t.neighbor_maps node) then
+        cached := (node, "Cached") :: !cached);
+  hosted @ neighboring @ !cached
+
+let check_invariants t =
+  let owned = List.length (owned_nodes t) and replicas = List.length (replica_nodes t) in
+  if owned <> t.owned_count then failwith "Server: owned_count mismatch";
+  if replicas <> t.replica_count then failwith "Server: replica_count mismatch";
+  (* Every hosted node has full routing context, and the node's own map
+     includes this server. *)
+  Hashtbl.iter
+    (fun node h ->
+      if not (Node_map.mem h.h_map t.id) then failwith "Server: hosted map lacks self";
+      List.iter
+        (fun nb ->
+          if (not (Hashtbl.mem t.neighbor_maps nb)) && not (hosts t nb) then
+            failwith "Server: missing neighbor context")
+        (Tree.neighbors t.tree node))
+    t.hosted;
+  (* Refcounts equal the number of hosted nodes referencing each neighbor. *)
+  let expected = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun node _ ->
+      List.iter
+        (fun nb ->
+          Hashtbl.replace expected nb (1 + Option.value ~default:0 (Hashtbl.find_opt expected nb)))
+        (Tree.neighbors t.tree node))
+    t.hosted;
+  Hashtbl.iter
+    (fun nb r ->
+      match Hashtbl.find_opt expected nb with
+      | Some n when n = r.refs -> ()
+      | _ -> failwith "Server: neighbor refcount mismatch")
+    t.neighbor_maps;
+  Hashtbl.iter
+    (fun nb n ->
+      match Hashtbl.find_opt t.neighbor_maps nb with
+      | Some r when r.refs = n -> ()
+      | _ -> failwith "Server: neighbor map missing for referenced node")
+    expected;
+  (* The local digest has no false negatives over hosted nodes. *)
+  Hashtbl.iter
+    (fun node _ ->
+      if not (Terradir_bloom.Bloom.mem (Digest_store.local t.digests) node) then
+        failwith "Server: digest false negative")
+    t.hosted

@@ -1,0 +1,172 @@
+(** Per-server (peer) state and its invariant-preserving mutators.
+
+    A server aggregates all four kinds of node state from Table 1:
+
+    {v
+    Node state    Name  Map  Data  Meta  Context
+    Owned          x     x    x     x      x
+    Replicated     x     x          x      x
+    Neighboring    x     x
+    Cached         x     x
+    v}
+
+    plus the machinery of the protocol: load meter, demand ranking, node
+    cache, digest store, peer-load table, message queues and the replication
+    session.  Mutators keep the cross-structure invariants (neighbor-map
+    refcounts, replica budget, digest freshness) — {!check_invariants}
+    verifies them in tests.
+
+    All event-driven behavior lives in {!Cluster}; this module never sends
+    messages or schedules events. *)
+
+open Types
+
+type host_kind = Owned | Replicated
+
+type hosted = {
+  h_node : node_id;
+  h_kind : host_kind;
+  mutable h_map : Node_map.t;  (** hosts of this node, self included *)
+  mutable h_meta_version : int;
+  mutable h_last_used : float;
+}
+
+(** An in-progress replication session (§3.3). *)
+type session = { session_id : int; mutable tried : server_id list; mutable attempts : int }
+
+(** Routing context for a tree-neighbor of hosted nodes, refcounted by the
+    number of hosted nodes whose context it belongs to. *)
+type neighbor_ref = { mutable n_map : Node_map.t; mutable refs : int }
+
+type t = {
+  id : server_id;
+  config : Config.t;
+  tree : Terradir_namespace.Tree.t;
+  rng : Terradir_util.Splitmix.t;
+  speed : float;  (** relative capacity: service times divide by this *)
+  hosted : (node_id, hosted) Hashtbl.t;
+  neighbor_maps : (node_id, neighbor_ref) Hashtbl.t;
+  mutable owned_count : int;
+  mutable replica_count : int;
+  cache : Cache.t;
+  digests : Digest_store.t;
+  load : Load_meter.t;
+  ranking : Ranking.t;
+  known_loads : (server_id, float) Hashtbl.t;
+  queue : message Queue.t;  (** bounded query-class FIFO *)
+  ctrl_queue : message Queue.t;  (** unbounded, served with priority *)
+  mutable serving : bool;
+  mutable session : session option;
+  mutable session_backoff_until : float;
+  mutable last_decay : float;
+  mutable alive : bool;
+  (* counters *)
+  mutable queries_processed : int;
+  mutable replicas_installed : int;
+  mutable replicas_evicted : int;
+}
+
+val create :
+  id:server_id ->
+  config:Config.t ->
+  tree:Terradir_namespace.Tree.t ->
+  ?speed:float ->
+  rng:Terradir_util.Splitmix.t ->
+  unit ->
+  t
+(** [speed] defaults to 1.0; must be positive. *)
+
+val add_owned : t -> node_id -> owner_of:(node_id -> server_id) -> now:float -> unit
+(** Install an owned node at bootstrap; neighbor maps are initialized from
+    the ground-truth owner function (local information each owner has by
+    construction of the namespace).  Rebuilds the digest. *)
+
+val find_hosted : t -> node_id -> hosted option
+
+val hosts : t -> node_id -> bool
+
+val hosted_nodes : t -> node_id list
+
+val owned_nodes : t -> node_id list
+
+val replica_nodes : t -> node_id list
+
+val neighbor_map : t -> node_id -> Node_map.t option
+(** Routing context: map for a tree-neighbor of some hosted node. *)
+
+val known_map : t -> node_id -> Node_map.t option
+(** Best map this server has for a node: hosted > neighbor > cached.
+    Does not touch the cache's LRU state. *)
+
+val merge_into_known_map : t -> node_id -> Node_map.t -> now:float -> unit
+(** Fold an incoming map (from a query path or back-propagation) into
+    whatever representation the server has for the node — hosted map,
+    neighbor context, or cache (only if caching is enabled). *)
+
+val touch_node : t -> node_id -> now:float -> unit
+(** Demand accounting: bump ranking weight and recency, with periodic decay
+    every load window. *)
+
+val note_peer_load : t -> server_id -> float -> unit
+
+val min_load_peer : t -> exclude:server_id list -> (server_id * float) option
+(** Least-loaded peer by believed load (the basis of §3.3 step 2). *)
+
+val replica_budget : t -> int
+(** floor(r_fact × owned) − replicas currently hosted (may be negative). *)
+
+val install_replica : t -> replica_payload -> now:float -> [ `Installed | `Merged | `Rejected ]
+(** Install a replica (§3.3 step 3 receiver side): makes room per r_fact by
+    evicting lowest-ranked replicas, but only ones strictly colder than the
+    incoming node's weight hint (displacing equally-hot replicas would
+    thrash under flat demand); merges if already hosted; rejects when no
+    room can be made. *)
+
+val evict_replica : t -> node_id -> unit
+(** @raise Invalid_argument if the node is not hosted as a replica. *)
+
+val remove_owned : t -> node_id -> unit
+(** Drop an owned node (ownership handoff, donor side).  Replicas that no
+    longer fit the shrunken r_fact budget are evicted lowest-rank-first.
+    @raise Invalid_argument if the node is not hosted as owned. *)
+
+val install_owned : t -> replica_payload -> now:float -> unit
+(** Ownership handoff, recipient side: install the node as {e owned} from a
+    transfer payload (an existing replica of it is upgraded in place).
+    The self entry is entered into the node's map as the new owner. *)
+
+val idle_scan : t -> now:float -> node_id list
+(** Evict replicas unused for [replica_idle_timeout]; returns them. *)
+
+val queue_length : t -> int
+(** Query-class queue occupancy. *)
+
+val prune_map_with_digests : t -> node_id -> Node_map.t -> Node_map.t
+(** §3.6.2: drop map entries whose server's stored digest denies hosting the
+    node.  Conservative: entries without a digest, and owner entries, are
+    kept.  No-op when the digest feature is off. *)
+
+val make_replica_payload : t -> node_id -> now:float -> replica_payload option
+(** Sender side: package a hosted node's replica state (map with self and
+    the receiver-relevant stamp refresh, full neighbor context, weight
+    hint).  [None] if the node is not hosted. *)
+
+val forget_server : t -> node_id -> server_id -> unit
+(** Remove a server from whatever map this server holds for [node] — used
+    when a forwarding attempt finds the server dead.  Owner entries are
+    removed too (unlike digest pruning, direct failure evidence is
+    authoritative). *)
+
+val forget_peer : t -> server_id -> unit
+(** Drop a peer from the believed-load table. *)
+
+val record_new_replica : t -> node_id -> server_id -> now:float -> unit
+(** Sender-side bookkeeping after shipping a replica: enter the new host
+    into the node's map with a fresh stamp so it is advertised (§3.7). *)
+
+val state_kinds : t -> (node_id * string) list
+(** Every node this server has state for, labeled Owned / Replicated /
+    Neighboring / Cached (Table 1 introspection). *)
+
+val check_invariants : t -> unit
+(** @raise Failure on violated internal invariants. *)

@@ -1,0 +1,19 @@
+(** Static replication of the top namespace levels.
+
+    The paper notes (§2.3) that hierarchical bottlenecks can be addressed by
+    static replication [Silaghi et al. 2002], while hot-spots and failures
+    need the adaptive scheme.  This module implements that baseline: at
+    deployment time, replicate every node above a cutoff depth onto a fixed
+    number of extra servers.  Used by the ablation benchmarks to compare
+    static-only, adaptive-only, and combined configurations. *)
+
+val apply : Cluster.t -> levels:int -> copies:int -> int
+(** [apply cluster ~levels ~copies] replicates each node of depth < [levels]
+    onto [copies] additional distinct servers (chosen at random, skipping
+    servers already hosting the node).  Installs go through the normal
+    replica machinery and therefore respect each server's replication
+    factor; servers without budget are skipped.  Returns the number of
+    replicas actually installed.  Run this before injecting load; pair it
+    with a large [replica_idle_timeout] if the copies must persist through
+    idle periods.
+    @raise Invalid_argument on negative arguments. *)

@@ -1,0 +1,51 @@
+type t = { bits : Bytes.t; length : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; length = n }
+
+let length b = b.length
+
+let check b i op =
+  if i < 0 || i >= b.length then invalid_arg ("Bitset." ^ op ^ ": index out of range")
+
+let set b i =
+  check b i "set";
+  let byte = Char.code (Bytes.unsafe_get b.bits (i lsr 3)) in
+  Bytes.unsafe_set b.bits (i lsr 3) (Char.unsafe_chr (byte lor (1 lsl (i land 7))))
+
+let clear b i =
+  check b i "clear";
+  let byte = Char.code (Bytes.unsafe_get b.bits (i lsr 3)) in
+  Bytes.unsafe_set b.bits (i lsr 3) (Char.unsafe_chr (byte land lnot (1 lsl (i land 7))))
+
+let mem b i =
+  check b i "mem";
+  Char.code (Bytes.unsafe_get b.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let reset b = Bytes.fill b.bits 0 (Bytes.length b.bits) '\000'
+
+let popcount_byte =
+  (* 256-entry popcount table, built once. *)
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let count b =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) b.bits;
+  !n
+
+let union_into ~dst src =
+  if dst.length <> src.length then invalid_arg "Bitset.union_into: length mismatch";
+  for i = 0 to Bytes.length dst.bits - 1 do
+    let d = Char.code (Bytes.unsafe_get dst.bits i)
+    and s = Char.code (Bytes.unsafe_get src.bits i) in
+    Bytes.unsafe_set dst.bits i (Char.unsafe_chr (d lor s))
+  done
+
+let copy b = { bits = Bytes.copy b.bits; length = b.length }
+
+let equal a b = a.length = b.length && Bytes.equal a.bits b.bits

@@ -1,0 +1,38 @@
+(** Fixed-size mutable bit vectors, backed by [Bytes].
+
+    Used as the storage layer for Bloom-filter digests.  Bounds are checked;
+    all operations are O(1) except the bulk ones, which are O(size/8). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset of [n] bits, all cleared.
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Number of bits. *)
+
+val set : t -> int -> unit
+(** [set b i] sets bit [i]. @raise Invalid_argument on out-of-range index. *)
+
+val clear : t -> int -> unit
+(** [clear b i] clears bit [i]. *)
+
+val mem : t -> int -> bool
+(** [mem b i] is the value of bit [i]. *)
+
+val reset : t -> unit
+(** Clear every bit. *)
+
+val count : t -> int
+(** Number of set bits (popcount). *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ors [src] into [dst].
+    @raise Invalid_argument if lengths differ. *)
+
+val copy : t -> t
+(** Independent copy. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same length, same bits). *)

@@ -1,0 +1,98 @@
+type 'a node = {
+  key : int;
+  mutable value : 'a;
+  mutable prev : 'a node option; (* toward MRU end *)
+  mutable next : 'a node option; (* toward LRU end *)
+}
+
+type 'a t = {
+  capacity : int;
+  table : (int, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most recently used *)
+  mutable tail : 'a node option; (* least recently used *)
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  { capacity; table = Hashtbl.create (max 16 capacity); head = None; tail = None }
+
+let capacity t = t.capacity
+
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let promote t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+    unlink t node;
+    push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+    promote t node;
+    Some node.value
+
+let peek t k = Option.map (fun node -> node.value) (Hashtbl.find_opt t.table k)
+
+let mem t k = Hashtbl.mem t.table k
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key
+
+let put t k v =
+  if t.capacity = 0 then ()
+  else
+    match Hashtbl.find_opt t.table k with
+    | Some node ->
+      node.value <- v;
+      promote t node
+    | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.add t.table k node;
+      push_front t node
+
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some node -> go (f acc node.key node.value) node.next
+  in
+  go init t.head
+
+let iter t ~f = fold t ~init:() ~f:(fun () k v -> f k v)
+
+let keys_mru_order t = List.rev (fold t ~init:[] ~f:(fun acc k _ -> k :: acc))
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,41 @@
+(** Bounded LRU table from integer keys to values.
+
+    The TerraDir cache (§2.4 of the paper) stores node → map pointers with
+    LRU replacement; an entry is "touched" whenever used in routing.  The
+    implementation is a hash table over an intrusive doubly-linked recency
+    list: all operations are O(1). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] holds at most [capacity] entries.  Capacity 0 is a
+    valid always-empty cache. @raise Invalid_argument if negative. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+(** [find t k] returns the binding and promotes [k] to most-recently-used. *)
+
+val peek : 'a t -> int -> 'a option
+(** Like {!find} but without promoting. *)
+
+val mem : 'a t -> int -> bool
+(** Membership without promotion. *)
+
+val put : 'a t -> int -> 'a -> unit
+(** [put t k v] binds [k] to [v] as most-recently-used, evicting the
+    least-recently-used entry if the cache is full. *)
+
+val remove : 'a t -> int -> unit
+
+val fold : 'a t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+(** Fold over entries from most- to least-recently used. *)
+
+val iter : 'a t -> f:(int -> 'a -> unit) -> unit
+
+val keys_mru_order : 'a t -> int list
+(** Keys from most- to least-recently-used (for tests). *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,87 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* positions [0, size) are live *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+(* Entry ordering: key first, then insertion sequence for FIFO ties. *)
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.size = capacity then begin
+    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    Array.blit q.heap 0 fresh 0 q.size;
+    q.heap <- fresh
+  end
+
+let add q key value =
+  let entry = { key; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  (* Sift up. *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.heap.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before entry q.heap.(parent) then begin
+      q.heap.(!i) <- q.heap.(parent);
+      q.heap.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let min q = if q.size = 0 then None else Some (q.heap.(0).key, q.heap.(0).value)
+
+let sift_down q =
+  let n = q.size in
+  let entry = q.heap.(0) in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < n && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+    if r < n && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      q.heap.(!i) <- q.heap.(!smallest);
+      q.heap.(!smallest) <- entry;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      q.heap.(q.size) <- top (* keep slot initialized; avoids space leak concerns *);
+      sift_down q
+    end;
+    Some (top.key, top.value)
+  end
+
+let clear q =
+  q.heap <- [||];
+  q.size <- 0
+
+let to_sorted_list q =
+  let copy = { heap = Array.sub q.heap 0 (Array.length q.heap); size = q.size; next_seq = q.next_seq } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+  in
+  drain []

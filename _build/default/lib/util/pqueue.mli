@@ -1,0 +1,30 @@
+(** Mutable min-priority queue on float keys (array-backed binary heap).
+
+    The event queue of the discrete-event engine.  Ties on the key are broken
+    by insertion order (FIFO), which makes simulations deterministic even when
+    many events share a timestamp. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Empty queue. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> float -> 'a -> unit
+(** [add q key v] inserts [v] with priority [key]. *)
+
+val min : 'a t -> (float * 'a) option
+(** Smallest key and its value, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest key; [None] when empty.
+    Among equal keys, the earliest-inserted entry is returned first. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Drain a copy of the queue in priority order (for tests/inspection);
+    the queue itself is unchanged. *)

@@ -1,0 +1,98 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations from the running mean *)
+  mutable minv : float;
+  mutable maxv : float;
+  mutable sum : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; minv = infinity; maxv = neg_infinity; sum = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x;
+  t.sum <- t.sum +. x
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min_value t =
+  if t.n = 0 then invalid_arg "Stats.min_value: empty";
+  t.minv
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Stats.max_value: empty";
+  t.maxv
+
+let total t = t.sum
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int n in
+    {
+      n;
+      mean = a.mean +. (delta *. fb /. fn);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn);
+      minv = Float.min a.minv b.minv;
+      maxv = Float.max a.maxv b.maxv;
+      sum = a.sum +. b.sum;
+    }
+  end
+
+module Reservoir = struct
+  type stats = t
+
+  type nonrec t = {
+    sample : float array;
+    mutable filled : int;
+    mutable seen : int;
+    rng : Splitmix.t;
+    all : stats;
+  }
+
+  let create ?(capacity = 4096) rng =
+    if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+    { sample = Array.make capacity 0.0; filled = 0; seen = 0; rng; all = create () }
+
+  let add r x =
+    add r.all x;
+    r.seen <- r.seen + 1;
+    if r.filled < Array.length r.sample then begin
+      r.sample.(r.filled) <- x;
+      r.filled <- r.filled + 1
+    end
+    else begin
+      (* Algorithm R: keep each seen sample with probability capacity/seen. *)
+      let j = Splitmix.int r.rng r.seen in
+      if j < Array.length r.sample then r.sample.(j) <- x
+    end
+
+  let count r = r.seen
+
+  let percentile r p =
+    if r.filled = 0 then invalid_arg "Reservoir.percentile: empty";
+    if p < 0.0 || p > 1.0 then invalid_arg "Reservoir.percentile: p out of range";
+    let sorted = Array.sub r.sample 0 r.filled in
+    Array.sort compare sorted;
+    let pos = p *. float_of_int (r.filled - 1) in
+    let lo = max 0 (min (int_of_float pos) (r.filled - 1)) in
+    let hi = min (lo + 1) (r.filled - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+  let summary r = r.all
+end

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Cluster Dist Engine Float List Splitmix Stream Terradir Terradir_sim Terradir_util

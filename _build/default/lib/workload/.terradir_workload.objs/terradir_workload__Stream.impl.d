@@ -1,0 +1,1 @@
+lib/workload/stream.ml: Array Dist List Splitmix Terradir_namespace Terradir_sim Terradir_util Tree

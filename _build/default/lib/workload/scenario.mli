@@ -1,0 +1,30 @@
+(** Drive a cluster through a query stream.
+
+    Schedules Poisson query arrivals phase by phase (uniform source server,
+    stream-sampled destination) and runs the simulation to the end of the
+    stream (plus a drain allowance so in-flight lookups finish). *)
+
+val run :
+  ?drain:float ->
+  ?on_phase:(int -> Stream.phase -> unit) ->
+  ?fetch_probability:float ->
+  Terradir.Cluster.t ->
+  phases:Stream.phase list ->
+  seed:int ->
+  unit
+(** [run cluster ~phases ~seed] executes the whole stream.  [drain]
+    (default 2 s) extends the run past the last arrival.  [on_phase] is
+    called at each phase start (e.g. to log shift times).
+    [fetch_probability] (default 0: lookups only, the paper's methodology)
+    makes that fraction of resolved lookups proceed to step two — a data
+    fetch from the resolved map's hosts ("few of the objects looked up
+    ... are effectively retrieved", §1).
+    @raise Invalid_argument on an empty phase list or non-positive rates. *)
+
+val run_interleaved :
+  ?drain:float ->
+  Terradir.Cluster.t ->
+  streams:(Stream.phase list * int) list ->
+  unit
+(** Several independent streams (phases, seed) injected concurrently into
+    one cluster — e.g. a background uniform trickle plus a flash crowd. *)

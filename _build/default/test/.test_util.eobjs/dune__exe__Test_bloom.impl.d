@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest Bloom List Printf QCheck QCheck_alcotest Terradir_bloom

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache List Node_map Option QCheck QCheck_alcotest Splitmix Terradir Terradir_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Filename Float In_channel List Printf String Sys Terradir Terradir_experiments Terradir_namespace

@@ -1,0 +1,1 @@
+test/test_meters.ml: Alcotest Bloom Digest_store List Load_meter Ranking Terradir Terradir_bloom

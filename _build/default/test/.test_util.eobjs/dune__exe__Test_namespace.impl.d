@@ -1,0 +1,1 @@
+test/test_namespace.ml: Alcotest Build List Name Option Printf QCheck QCheck_alcotest Terradir_namespace Tree

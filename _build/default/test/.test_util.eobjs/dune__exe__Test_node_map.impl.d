@@ -1,0 +1,1 @@
+test/test_node_map.ml: Alcotest List Node_map QCheck QCheck_alcotest Splitmix Terradir Terradir_util

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Build Cache Cluster Config Digest_store List Node_map QCheck QCheck_alcotest Routing Server Splitmix Terradir Terradir_bloom Terradir_namespace Terradir_util Tree

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dist Engine Float Fun List Printf QCheck QCheck_alcotest Splitmix Stats Terradir_sim Terradir_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Float Fun Gen List Lru Option Pqueue Printf QCheck QCheck_alcotest Splitmix Stats String Tablefmt Terradir_util Timeseries

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Build Cluster Config List Metrics Printf Scenario Stream Terradir Terradir_namespace Terradir_util Terradir_workload Tree

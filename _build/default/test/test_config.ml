@@ -1,0 +1,72 @@
+(* Coverage for Config validation and presets. *)
+
+open Terradir
+
+let expect_invalid field tweak =
+  let c = tweak Config.default in
+  match Config.validate c with
+  | () -> Alcotest.fail (field ^ ": expected rejection")
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s mentioned in %S" field msg)
+      true
+      (String.length msg > 0)
+
+let test_default_valid () = Config.validate Config.default
+
+let test_validation_rejects () =
+  expect_invalid "num_servers" (fun c -> { c with Config.num_servers = 0 });
+  expect_invalid "speed_spread" (fun c -> { c with Config.speed_spread = 0.5 });
+  expect_invalid "service_mean" (fun c -> { c with Config.service_mean = 0.0 });
+  expect_invalid "ctrl_service" (fun c -> { c with Config.ctrl_service = -1.0 });
+  expect_invalid "network_delay" (fun c -> { c with Config.network_delay = -0.1 });
+  expect_invalid "queue_capacity" (fun c -> { c with Config.queue_capacity = 0 });
+  expect_invalid "load_window" (fun c -> { c with Config.load_window = 0.0 });
+  expect_invalid "high_water low" (fun c -> { c with Config.high_water = 0.0 });
+  expect_invalid "high_water high" (fun c -> { c with Config.high_water = 1.5 });
+  expect_invalid "high_water_factor" (fun c -> { c with Config.high_water_factor = -1.0 });
+  expect_invalid "min_delta" (fun c -> { c with Config.min_delta = 0.0 });
+  expect_invalid "r_fact" (fun c -> { c with Config.r_fact = -1.0 });
+  expect_invalid "r_map" (fun c -> { c with Config.r_map = 0 });
+  expect_invalid "cache_slots" (fun c -> { c with Config.cache_slots = -1 });
+  expect_invalid "max_attempts" (fun c -> { c with Config.max_attempts = 0 });
+  expect_invalid "retry_delay" (fun c -> { c with Config.retry_delay = -1.0 });
+  expect_invalid "success_cooldown" (fun c -> { c with Config.success_cooldown = -1.0 });
+  expect_invalid "replica_idle_timeout" (fun c -> { c with Config.replica_idle_timeout = 0.0 });
+  expect_invalid "eviction_scan_period" (fun c -> { c with Config.eviction_scan_period = 0.0 });
+  expect_invalid "hop_budget_slack" (fun c -> { c with Config.hop_budget_slack = -1 });
+  expect_invalid "bootstrap_peers" (fun c -> { c with Config.bootstrap_peers = -1 });
+  expect_invalid "max_remote_digests" (fun c -> { c with Config.max_remote_digests = -1 });
+  expect_invalid "data_copies" (fun c -> { c with Config.data_copies = 0 });
+  expect_invalid "data_service_mean" (fun c -> { c with Config.data_service_mean = 0.0 })
+
+let test_presets () =
+  Alcotest.(check bool) "bcr all on" true
+    Config.(bcr.caching && bcr.replication && bcr.digests);
+  Alcotest.(check bool) "bc caching only" true
+    Config.(bc.caching && (not bc.replication) && not bc.digests);
+  Alcotest.(check bool) "base all off" true
+    Config.(
+      (not base.caching) && (not base.replication) && not base.digests)
+
+let test_scaled () =
+  let c = Config.scaled Config.default ~factor:0.25 in
+  Alcotest.(check int) "quartered" 1024 c.Config.num_servers;
+  Config.validate c;
+  let tiny = Config.scaled Config.default ~factor:1e-9 in
+  Alcotest.(check int) "floored at 2" 2 tiny.Config.num_servers;
+  Alcotest.check_raises "factor validation"
+    (Invalid_argument "Config.scaled: factor must be positive") (fun () ->
+      ignore (Config.scaled Config.default ~factor:0.0))
+
+let () =
+  Alcotest.run "terradir_config"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "default valid" `Quick test_default_valid;
+          Alcotest.test_case "validation rejects" `Quick test_validation_rejects;
+          Alcotest.test_case "presets" `Quick test_presets;
+          Alcotest.test_case "scaled" `Quick test_scaled;
+        ] );
+    ]
