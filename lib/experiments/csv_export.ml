@@ -20,6 +20,10 @@ let series_csv ~index_label columns =
 
 let table_csv ~header rows = Tablefmt.csv ~header rows
 
+let metrics_csv metrics =
+  table_csv ~header:[ "metric"; "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) (Terradir.Metrics.summary_rows metrics))
+
 let f = Printf.sprintf
 
 let fig3 ?scale ?seed dir =

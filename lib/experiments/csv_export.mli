@@ -11,3 +11,8 @@ val export :
 
 val exportable : string list
 (** Ids accepted by {!export}. *)
+
+val metrics_csv : Terradir.Metrics.t -> string
+(** One metric/value row per {!Terradir.Metrics.summary_rows} entry —
+    the whole-run counter snapshot (including the network-fault block when
+    any fault fired), CSV-encoded for ad-hoc runs and examples. *)

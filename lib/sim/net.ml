@@ -1,0 +1,125 @@
+open Terradir_util
+
+type latency =
+  | Constant of float
+  | Uniform of { base : float; jitter : float }
+  | Lognormal of { median : float; sigma : float }
+
+type verdict = Delivered of float | Lost | Blocked
+
+type partition_id = int
+
+type partition = {
+  p_id : partition_id;
+  p_a : (int, unit) Hashtbl.t;
+  p_b : (int, unit) Hashtbl.t;
+  p_directed : bool;
+}
+
+type t = {
+  rng : Splitmix.t;
+  mutable p_loss : float;
+  mutable latency : latency;
+  mutable partitions : partition list;
+  mutable next_partition : int;
+  mutable n_delivered : int;
+  mutable n_lost : int;
+  mutable n_blocked : int;
+}
+
+let check_loss p =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Net: loss must be in [0, 1]"
+
+let check_latency = function
+  | Constant d -> if d < 0.0 then invalid_arg "Net: constant latency must be non-negative"
+  | Uniform { base; jitter } ->
+    if base < 0.0 then invalid_arg "Net: base latency must be non-negative";
+    if jitter < 0.0 || jitter > base then invalid_arg "Net: jitter must be in [0, base]"
+  | Lognormal { median; sigma } ->
+    if median <= 0.0 then invalid_arg "Net: lognormal median must be positive";
+    if sigma < 0.0 then invalid_arg "Net: lognormal sigma must be non-negative"
+
+let create ?(loss = 0.0) ?(latency = Constant 0.0) ~rng () =
+  check_loss loss;
+  check_latency latency;
+  {
+    rng;
+    p_loss = loss;
+    latency;
+    partitions = [];
+    next_partition = 0;
+    n_delivered = 0;
+    n_lost = 0;
+    n_blocked = 0;
+  }
+
+let set_loss t p =
+  check_loss p;
+  t.p_loss <- p
+
+let loss t = t.p_loss
+
+let set_latency t l =
+  check_latency l;
+  t.latency <- l
+
+let sample_latency t =
+  match t.latency with
+  | Constant d -> d
+  | Uniform { base; jitter } ->
+    if jitter = 0.0 then base else base -. jitter +. Splitmix.float t.rng (2.0 *. jitter)
+  | Lognormal { median; sigma } -> Dist.lognormal t.rng ~mu:(log median) ~sigma
+
+let partition ?(directed = false) t ~a ~b =
+  if a = [] || b = [] then invalid_arg "Net.partition: empty side";
+  let side ids =
+    let h = Hashtbl.create (List.length ids) in
+    List.iter (fun id -> Hashtbl.replace h id ()) ids;
+    h
+  in
+  let p_a = side a and p_b = side b in
+  Hashtbl.iter
+    (fun id () -> if Hashtbl.mem p_b id then invalid_arg "Net.partition: sides intersect")
+    p_a;
+  let id = t.next_partition in
+  t.next_partition <- id + 1;
+  t.partitions <- { p_id = id; p_a; p_b; p_directed = directed } :: t.partitions;
+  id
+
+let heal t id = t.partitions <- List.filter (fun p -> p.p_id <> id) t.partitions
+
+let heal_all t = t.partitions <- []
+
+let blocked t ~src ~dst =
+  src <> dst
+  && List.exists
+       (fun p ->
+         (Hashtbl.mem p.p_a src && Hashtbl.mem p.p_b dst)
+         || ((not p.p_directed) && Hashtbl.mem p.p_b src && Hashtbl.mem p.p_a dst))
+       t.partitions
+
+let transmit t ~src ~dst =
+  if blocked t ~src ~dst then begin
+    t.n_blocked <- t.n_blocked + 1;
+    Blocked
+  end
+  else if src <> dst && t.p_loss > 0.0 && Splitmix.float t.rng 1.0 < t.p_loss then begin
+    t.n_lost <- t.n_lost + 1;
+    Lost
+  end
+  else begin
+    t.n_delivered <- t.n_delivered + 1;
+    Delivered (sample_latency t)
+  end
+
+let delivered t = t.n_delivered
+
+let lost t = t.n_lost
+
+let blocked_count t = t.n_blocked
+
+let backoff ~base ~factor ~attempt =
+  if base < 0.0 then invalid_arg "Net.backoff: base must be non-negative";
+  if factor < 1.0 then invalid_arg "Net.backoff: factor must be >= 1";
+  if attempt < 0 then invalid_arg "Net.backoff: attempt must be non-negative";
+  base *. (factor ** float_of_int attempt)

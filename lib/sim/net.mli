@@ -1,0 +1,88 @@
+(** Fault-injectable network model.
+
+    Every simulated message traverses the network exactly once, through
+    {!transmit}: the model decides whether the message is delivered (and
+    after what latency), silently lost, or blocked by an active partition.
+    All randomness flows through the [Splitmix] generator supplied at
+    creation, so a run is bit-for-bit reproducible from a seed — the
+    deterministic-simulation-testing discipline: the same seed must yield
+    the same verdict and latency stream, fault injection included.
+
+    The model is deliberately memoryless per message (iid loss, iid
+    latency); correlated failures are expressed as partitions, installed
+    and healed by the test harness at chosen simulation times. *)
+
+(** Per-message latency distribution. *)
+type latency =
+  | Constant of float  (** every message takes exactly this long *)
+  | Uniform of { base : float; jitter : float }
+      (** uniform in [[base - jitter, base + jitter]]; requires
+          [0 <= jitter <= base] *)
+  | Lognormal of { median : float; sigma : float }
+      (** heavy-tailed WAN-style latency: [exp(Normal(ln median, sigma))] *)
+
+(** Verdict for one message. *)
+type verdict =
+  | Delivered of float  (** deliver after the sampled latency *)
+  | Lost  (** dropped by iid loss — the sender learns nothing *)
+  | Blocked  (** dropped by an active partition *)
+
+type partition_id = int
+
+type t
+
+val create : ?loss:float -> ?latency:latency -> rng:Terradir_util.Splitmix.t -> unit -> t
+(** [create ~rng ()] is an ideal network (no loss, zero constant latency)
+    until configured otherwise.
+    @raise Invalid_argument if [loss] is outside [0, 1] or the latency
+    parameters are invalid (negative times, [jitter > base],
+    non-positive median, negative sigma). *)
+
+val set_loss : t -> float -> unit
+(** Change the iid per-message loss probability.  @raise Invalid_argument
+    outside [0, 1]. *)
+
+val loss : t -> float
+
+val set_latency : t -> latency -> unit
+(** @raise Invalid_argument on invalid parameters (see {!create}). *)
+
+val sample_latency : t -> float
+(** Draw one latency from the current distribution (always >= 0). *)
+
+val partition : ?directed:bool -> t -> a:int list -> b:int list -> partition_id
+(** [partition t ~a ~b] makes every message from a server in [a] to a
+    server in [b] — and, unless [directed] (default false), from [b] to
+    [a] — return [Blocked] until the partition is healed.  Partitions
+    stack: a pair is blocked while {e any} active partition covers it.
+    @raise Invalid_argument if either side is empty or the sides
+    intersect. *)
+
+val heal : t -> partition_id -> unit
+(** Remove one partition.  Unknown or already-healed ids are ignored
+    (healing is idempotent). *)
+
+val heal_all : t -> unit
+
+val blocked : t -> src:int -> dst:int -> bool
+(** Whether an active partition currently blocks [src -> dst].  Pure
+    observation: no RNG draw, no counter update. *)
+
+val transmit : t -> src:int -> dst:int -> verdict
+(** Decide one message's fate: partition check first (no RNG), then the
+    loss draw, then the latency draw.  Loopback ([src = dst]) is never
+    lost or blocked.  Updates the delivery counters. *)
+
+(** Cumulative {!transmit} counters, for metrics export. *)
+val delivered : t -> int
+
+val lost : t -> int
+
+val blocked_count : t -> int
+
+val backoff : base:float -> factor:float -> attempt:int -> float
+(** The retransmission backoff schedule: [backoff ~base ~factor ~attempt]
+    is [base *. factor ^ attempt] — the timeout granted to attempt number
+    [attempt] (0 = the initial transmission).
+    @raise Invalid_argument if [base < 0], [factor < 1] or
+    [attempt < 0]. *)

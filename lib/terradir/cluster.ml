@@ -10,7 +10,16 @@ type fetch_state = {
   f_node : node_id;
   f_started : float;
   mutable f_tried : server_id list;
+  mutable f_attempts : int;
   f_on_done : (fetch_outcome -> unit) option;
+}
+
+type query_ctx = {
+  qc_src : server_id;
+  qc_dst : node_id;
+  qc_born : float;
+  mutable qc_attempt : int;
+  qc_on_complete : (outcome -> unit) option;
 }
 
 type t = {
@@ -20,11 +29,13 @@ type t = {
   servers : Server.t array;
   owner_of : server_id array;
   rng : Splitmix.t;
+  net : Net.t;
   metrics : Metrics.t;
   hop_budget : int;
   replicas_created_per_level : int array;
   data_holders : server_id array array;
   pending_fetches : (int, fetch_state) Hashtbl.t;
+  pending_queries : (int, query_ctx) Hashtbl.t;
   mutable next_qid : int;
   mutable next_session : int;
   mutable next_fetch : int;
@@ -39,6 +50,39 @@ let server t sid = t.servers.(sid)
 let num_servers t = Array.length t.servers
 
 let features t = t.config.Config.features
+
+(* The root's owner is durable bootstrap configuration (the same DNS-style
+   hint [seed_root_hint] installs at join time), not soft state.  A server
+   whose maps have all been pruned empty — bounce-pruning around dead peers
+   can strand a leaf owner with no outward knowledge at all — re-reads that
+   configuration instead of dead-ending queries forever.  Returns whether a
+   usable hint was installed (false when this server is itself the root
+   contact, where the hint cannot help: routing never self-forwards). *)
+let reseed_root_contact t s =
+  let root_owner = t.owner_of.(Tree.root) in
+  if Server.hosts s Tree.root || root_owner = s.Server.id then false
+  else begin
+    Cache.insert s.Server.cache ~node:Tree.root
+      (Node_map.singleton ~is_owner:true ~server:root_owner ~stamp:(now t) ());
+    true
+  end
+
+(* Bounce-pruning must never erase the namespace itself.  Ownership is the
+   one durable fact about a node; the context map a host keeps for a tree
+   neighbor is delegation state (a DNS zone's NS record), and pruning a
+   dead host out of it may not leave it permanently empty — that strands
+   the whole subtree even after its owner revives, because re-learning
+   needs a resolution and resolving needs the delegation.  Re-seed the
+   current owner instead.  A still-dead owner is fine: queries to it keep
+   bouncing into the hop budget (the region is {e unreachable}, not
+   {e forgotten}) and resolve again the moment it revives. *)
+let reseed_delegation t s node =
+  match Server.neighbor_map s node with
+  | Some m when Node_map.is_empty m ->
+    Server.merge_into_known_map s node
+      (Node_map.singleton ~is_owner:true ~server:t.owner_of.(node) ~stamp:(now t) ())
+      ~now:(now t)
+  | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Messaging                                                           *)
@@ -72,7 +116,12 @@ let rec send t ~from ~to_ payload =
   | Load_probe _ | Load_reply _ | Replicate _ ->
     t.metrics.Metrics.control_messages <- t.metrics.Metrics.control_messages + 1
   | Query _ | Query_reply _ | Data_request _ | Data_reply _ -> ());
-  Engine.schedule t.engine ~delay:t.config.Config.network_delay (fun () -> deliver t ~to_ msg)
+  (* The network decides: silent loss and partitions vanish the message —
+     the sender learns nothing, so recovery is the issuer's timer's job. *)
+  match Net.transmit t.net ~src:from ~dst:to_ with
+  | Net.Delivered delay -> Engine.schedule t.engine ~delay (fun () -> deliver t ~to_ msg)
+  | Net.Lost -> t.metrics.Metrics.net_lost <- t.metrics.Metrics.net_lost + 1
+  | Net.Blocked -> t.metrics.Metrics.net_blocked <- t.metrics.Metrics.net_blocked + 1
 
 and deliver t ~to_ msg =
   let s = t.servers.(to_) in
@@ -116,15 +165,16 @@ and bounce t ~dead msg =
         else begin
           Server.forget_server s q.target dead;
           Server.forget_peer s dead;
+          reseed_delegation t s q.target;
           q.hops <- q.hops + 2;
           if q.hops > t.hop_budget then finish_dropped t q Hop_budget
           else
             deliver t ~to_:sender
               { msg with msg_from = sender; msg_digest = None; msg_payload = Query q }
         end)
-  | Query_reply _ ->
+  | Query_reply q ->
     (* The originator died; its lookup dies with it. *)
-    Metrics.drop t.metrics Server_dead ~now:(now t)
+    finish_dropped t q Server_dead
   | Data_request { fetch_id; _ } -> fetch_retry t fetch_id ~failed:dead
   | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ -> ()
 
@@ -170,7 +220,7 @@ and kick t sid =
 and process t sid msg =
   let s = t.servers.(sid) in
   (match msg.msg_payload with
-  | Query q -> process_query t s q
+  | Query q -> process_query ~from:msg.msg_from t s q
   | Query_reply q -> complete_query t s q
   | Load_probe { session } ->
     send t ~from:sid ~to_:msg.msg_from
@@ -220,13 +270,32 @@ and append_path_entry t s q =
         q.path <- List.filteri (fun i _ -> i < path_cap) q.path
     | None -> ()
 
-and process_query t s q =
+and process_query ?from t s q =
   let time = now t in
   s.Server.queries_processed <- s.Server.queries_processed + 1;
   absorb_path t s q.path;
   if q.hops > 0 && not (Server.hosts s q.target) then begin
     q.stale_forwards <- q.stale_forwards + 1;
-    t.metrics.Metrics.stale_forwards <- t.metrics.Metrics.stale_forwards + 1
+    t.metrics.Metrics.stale_forwards <- t.metrics.Metrics.stale_forwards + 1;
+    (* Stale-forward feedback — the alive-host dual of the bounce.  The
+       sender's map entry claiming this server hosts [q.target] is wrong;
+       tell it so, exactly as bounce-back failure detection does for dead
+       hosts.  Without it, stale entries between {e alive} peers never
+       decay and can bounce a query between two mutually-stale servers
+       until its hop budget dies.  Modeled like the bounce: a sender-side
+       state correction after one network delay, riding the transport
+       layer rather than the request queues. *)
+    let stale_target = q.target in
+    match from with
+    | Some sender when sender <> s.Server.id ->
+      let self = s.Server.id in
+      Engine.schedule t.engine ~delay:t.config.Config.network_delay (fun () ->
+          let snd = t.servers.(sender) in
+          if snd.Server.alive then begin
+            Server.forget_server snd stale_target self;
+            reseed_delegation t snd stale_target
+          end)
+    | Some _ | None -> ()
   end;
   if Server.hosts s q.target then begin
     Server.touch_node s q.target ~now:time;
@@ -235,6 +304,7 @@ and process_query t s q =
   let oracle =
     if t.config.Config.oracle_maps then Some (ground_truth_map t) else None
   in
+  let rec route ~reseeded =
   match Routing.decide ~shortcut_bound:q.best_dist ?oracle s ~dst:q.dst with
   | Routing.Resolve ->
     Server.touch_node s q.dst ~now:time;
@@ -251,6 +321,29 @@ and process_query t s q =
       send t ~from:s.Server.id ~to_:q.src_server (Query_reply q)
     end
   | Routing.Forward { via_node; to_server; shortcut } ->
+    (* Loop breaking.  A stale forward whose best candidate is no closer
+       than the query has already reached would wander sideways — two peers
+       with mutually-stale maps bounce such a query between them until the
+       hop budget kills it.  Fall back on the namespace guarantee instead:
+       route via the well-known root and descend the owner chain, which
+       always progresses while owners are alive (owner entries are durable,
+       merge-pinned, and filter-exempt). *)
+    let via_node, to_server, shortcut =
+      if
+        shortcut || q.hops = 0
+        || Server.hosts s q.target
+        || Tree.distance t.tree via_node q.dst < q.best_dist
+        || not (reseed_root_contact t s)
+      then (via_node, to_server, shortcut)
+      else
+        match
+          Option.bind
+            (Cache.use s.Server.cache ~node:Tree.root)
+            (fun map -> Node_map.random_server ~exclude:s.Server.id map s.Server.rng)
+        with
+        | Some root_server -> (Tree.root, root_server, false)
+        | None -> (via_node, to_server, shortcut)
+    in
     if shortcut then begin
       q.shortcut_hops <- q.shortcut_hops + 1;
       t.metrics.Metrics.shortcut_forwards <- t.metrics.Metrics.shortcut_forwards + 1
@@ -264,12 +357,28 @@ and process_query t s q =
       q.best_dist <- min q.best_dist (Tree.distance t.tree via_node q.dst);
       send t ~from:s.Server.id ~to_:to_server (Query q)
     end
-  | Routing.Dead_end -> finish_dropped t q Dead_end
+  | Routing.Dead_end ->
+    (* Last resort before stranding the query: fall back on the durable
+       root contact once and re-decide (soft state rebuilds from there via
+       the usual path-propagation machinery).  Bounded: at most one reseed
+       per processing step, and every resulting forward consumes hops. *)
+    if (not reseeded) && reseed_root_contact t s then route ~reseeded:true
+    else finish_dropped t q Dead_end
+  in
+  route ~reseeded:false
 
-(* A query reached a terminal drop: record it and notify the issuer. *)
+(* A query attempt reached a terminal drop.  Only the newest attempt's
+   fate finalizes the request: explicit drops of superseded attempts are
+   discarded (a retransmission is already racing them), and drops of
+   already-finalized requests are stale noise from the network. *)
 and finish_dropped t q reason =
-  Metrics.drop t.metrics reason ~now:(now t);
-  Option.iter (fun k -> k (Dropped reason)) q.on_complete
+  match Hashtbl.find_opt t.pending_queries q.qid with
+  | None -> ()
+  | Some ctx when q.attempt < ctx.qc_attempt -> ()
+  | Some ctx ->
+    Hashtbl.remove t.pending_queries q.qid;
+    Metrics.drop t.metrics reason ~now:(now t);
+    Option.iter (fun k -> k (Dropped reason)) ctx.qc_on_complete
 
 (* ------------------------------------------------------------------ *)
 (* Data retrieval (§2.1 step two)                                      *)
@@ -314,21 +423,29 @@ and ground_truth_map t node =
     Node_map.empty t.servers
 
 and complete_query t s q =
-  (* The source caches its lookup result even under endpoint-only caching;
-     with path propagation it absorbs the whole route. *)
-  absorb_path ~at_endpoint:true t s q.path;
-  let latency = now t -. q.born in
-  Metrics.resolve t.metrics ~latency ~hops:q.hops ~now:(now t);
-  (* Meta-data staleness at the resolving host, vs the owner's truth. *)
-  (match Server.find_hosted t.servers.(t.owner_of.(q.dst)) q.dst with
-  | Some owner_rec ->
-    Stats.add t.metrics.Metrics.meta_lag
-      (float_of_int (max 0 (owner_rec.Server.h_meta_version - q.result_meta)))
-  | None -> ());
-  Option.iter
-    (fun k ->
-      k (Resolved { latency; hops = q.hops; map = q.result_map; meta_version = q.result_meta }))
-    q.on_complete
+  match Hashtbl.find_opt t.pending_queries q.qid with
+  | None ->
+    (* The request was already finalized (another attempt won the race, or
+       the last timer expired): a duplicate result, discarded. *)
+    t.metrics.Metrics.late_replies <- t.metrics.Metrics.late_replies + 1
+  | Some ctx ->
+    (* First resolution wins, whichever attempt carried it. *)
+    Hashtbl.remove t.pending_queries q.qid;
+    (* The source caches its lookup result even under endpoint-only caching;
+       with path propagation it absorbs the whole route. *)
+    absorb_path ~at_endpoint:true t s q.path;
+    let latency = now t -. q.born in
+    Metrics.resolve t.metrics ~latency ~hops:q.hops ~now:(now t);
+    (* Meta-data staleness at the resolving host, vs the owner's truth. *)
+    (match Server.find_hosted t.servers.(t.owner_of.(q.dst)) q.dst with
+    | Some owner_rec ->
+      Stats.add t.metrics.Metrics.meta_lag
+        (float_of_int (max 0 (owner_rec.Server.h_meta_version - q.result_meta)))
+    | None -> ());
+    Option.iter
+      (fun k ->
+        k (Resolved { latency; hops = q.hops; map = q.result_map; meta_version = q.result_meta }))
+      ctx.qc_on_complete
 
 (* ------------------------------------------------------------------ *)
 (* Replication protocol driver (§3.3)                                  *)
@@ -472,6 +589,17 @@ let create ?(monitor = true) ~config ~tree () =
         Array.of_list (List.rev !holders))
       owner_of
   in
+  (* The network gets its own seed-derived stream (not a [split] of the
+     main one) so an ideal-network run draws exactly the seed's sequence. *)
+  let net =
+    let latency =
+      if config.Config.net_jitter > 0.0 then
+        Net.Uniform { base = config.Config.network_delay; jitter = config.Config.net_jitter }
+      else Net.Constant config.Config.network_delay
+    in
+    Net.create ~loss:config.Config.net_loss ~latency
+      ~rng:(Splitmix.create (config.Config.seed lxor 0x4e455431)) ()
+  in
   let t =
     {
       engine = Engine.create ();
@@ -480,11 +608,13 @@ let create ?(monitor = true) ~config ~tree () =
       servers;
       owner_of;
       rng;
+      net;
       metrics = Metrics.create ~rng:(Splitmix.split rng);
       hop_budget = (4 * Tree.max_depth tree) + config.Config.hop_budget_slack;
       replicas_created_per_level = Array.make (Tree.max_depth tree + 1) 0;
       data_holders;
       pending_fetches = Hashtbl.create 64;
+      pending_queries = Hashtbl.create 256;
       next_qid = 0;
       next_session = 0;
       next_fetch = 0;
@@ -557,39 +687,81 @@ let create ?(monitor = true) ~config ~tree () =
 (* Driving                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let inject ?on_complete t ~src ~dst =
-  if src < 0 || src >= num_servers t then invalid_arg "Cluster.inject: bad source server";
-  if dst < 0 || dst >= Tree.size t.tree then invalid_arg "Cluster.inject: bad destination node";
-  let time = now t in
-  t.metrics.Metrics.injected <- t.metrics.Metrics.injected + 1;
-  Timeseries.incr t.metrics.Metrics.injected_ts time;
+(* Hand one attempt of a pending request to its source server's queue.
+   The query record is rebuilt per attempt (fresh hop budget and path);
+   [born] stays the original injection time so latency is end-to-end. *)
+let start_query_attempt t qid ctx =
   let q =
     {
-      qid = t.next_qid;
-      src_server = src;
-      dst;
-      born = time;
+      qid;
+      src_server = ctx.qc_src;
+      dst = ctx.qc_dst;
+      attempt = ctx.qc_attempt;
+      born = ctx.qc_born;
       hops = 0;
-      target = dst;
+      target = ctx.qc_dst;
       path = [];
       shortcut_hops = 0;
       best_dist = max_int;
       stale_forwards = 0;
       result_map = Node_map.empty;
       result_meta = 0;
-      on_complete;
     }
   in
-  t.next_qid <- t.next_qid + 1;
   (* The query originates at [src]: straight into its queue, no network. *)
-  deliver t ~to_:src
+  deliver t ~to_:ctx.qc_src
     {
-      msg_from = src;
+      msg_from = ctx.qc_src;
       msg_load = 0.0;
       msg_digest_version = 0;
       msg_digest = None;
       msg_payload = Query q;
     }
+
+(* Arm the current attempt's timer.  Timers only catch silent loss:
+   explicit terminal drops finalize the request immediately, so with an
+   ideal network a timer never changes behavior — it either finds the
+   request finalized or its attempt superseded, and does nothing. *)
+let rec arm_query_timer t qid =
+  let cfg = t.config in
+  if cfg.Config.rpc_timeout > 0.0 then
+    match Hashtbl.find_opt t.pending_queries qid with
+    | None -> ()
+    | Some ctx ->
+      let attempt = ctx.qc_attempt in
+      let timeout =
+        Net.backoff ~base:cfg.Config.rpc_timeout ~factor:cfg.Config.retry_backoff ~attempt
+      in
+      Engine.schedule t.engine ~delay:timeout (fun () ->
+          match Hashtbl.find_opt t.pending_queries qid with
+          | Some cur when cur.qc_attempt = attempt ->
+            if attempt >= t.config.Config.max_retries then begin
+              Hashtbl.remove t.pending_queries qid;
+              Metrics.drop t.metrics Timed_out ~now:(now t);
+              Option.iter (fun k -> k (Dropped Timed_out)) cur.qc_on_complete
+            end
+            else begin
+              cur.qc_attempt <- attempt + 1;
+              t.metrics.Metrics.query_retransmits <- t.metrics.Metrics.query_retransmits + 1;
+              start_query_attempt t qid cur;
+              arm_query_timer t qid
+            end
+          | Some _ | None -> ())
+
+let inject ?on_complete t ~src ~dst =
+  if src < 0 || src >= num_servers t then invalid_arg "Cluster.inject: bad source server";
+  if dst < 0 || dst >= Tree.size t.tree then invalid_arg "Cluster.inject: bad destination node";
+  let time = now t in
+  t.metrics.Metrics.injected <- t.metrics.Metrics.injected + 1;
+  Timeseries.incr t.metrics.Metrics.injected_ts time;
+  let qid = t.next_qid in
+  t.next_qid <- qid + 1;
+  let ctx =
+    { qc_src = src; qc_dst = dst; qc_born = time; qc_attempt = 0; qc_on_complete = on_complete }
+  in
+  Hashtbl.add t.pending_queries qid ctx;
+  start_query_attempt t qid ctx;
+  arm_query_timer t qid
 
 let inject_uniform_src ?on_complete t ~dst =
   let s_count = num_servers t in
@@ -605,6 +777,37 @@ let last_injected_src t = t.last_src
 
 let run_until t time = Engine.run ~until:time t.engine
 
+(* Same shape as the query timer: a fetch whose request or reply was
+   silently lost is retried on timeout, failing over to untried holders
+   first and starting over across all holders once every one was tried. *)
+let rec arm_fetch_timer t fetch_id =
+  let cfg = t.config in
+  if cfg.Config.rpc_timeout > 0.0 then
+    match Hashtbl.find_opt t.pending_fetches fetch_id with
+    | None -> ()
+    | Some f ->
+      let attempt = f.f_attempts in
+      let timeout =
+        Net.backoff ~base:cfg.Config.rpc_timeout ~factor:cfg.Config.retry_backoff ~attempt
+      in
+      Engine.schedule t.engine ~delay:timeout (fun () ->
+          match Hashtbl.find_opt t.pending_fetches fetch_id with
+          | Some cur when cur.f_attempts = attempt ->
+            if attempt >= t.config.Config.max_retries then begin
+              Hashtbl.remove t.pending_fetches fetch_id;
+              t.metrics.Metrics.data_dropped <- t.metrics.Metrics.data_dropped + 1;
+              Option.iter (fun k -> k Fetch_failed) cur.f_on_done
+            end
+            else begin
+              cur.f_attempts <- attempt + 1;
+              t.metrics.Metrics.fetch_retransmits <- t.metrics.Metrics.fetch_retransmits + 1;
+              let holders = t.data_holders.(cur.f_node) in
+              if Array.for_all (fun h -> List.mem h cur.f_tried) holders then cur.f_tried <- [];
+              fetch_attempt t fetch_id;
+              arm_fetch_timer t fetch_id
+            end
+          | Some _ | None -> ())
+
 let fetch ?on_done t ~client ~node =
   if client < 0 || client >= num_servers t then invalid_arg "Cluster.fetch: bad client";
   if node < 0 || node >= Tree.size t.tree then invalid_arg "Cluster.fetch: bad node";
@@ -612,8 +815,16 @@ let fetch ?on_done t ~client ~node =
   let fetch_id = t.next_fetch in
   t.next_fetch <- fetch_id + 1;
   Hashtbl.add t.pending_fetches fetch_id
-    { f_client = client; f_node = node; f_started = now t; f_tried = []; f_on_done = on_done };
-  fetch_attempt t fetch_id
+    {
+      f_client = client;
+      f_node = node;
+      f_started = now t;
+      f_tried = [];
+      f_attempts = 0;
+      f_on_done = on_done;
+    };
+  fetch_attempt t fetch_id;
+  arm_fetch_timer t fetch_id
 
 let owner_meta_version t node =
   match Server.find_hosted t.servers.(t.owner_of.(node)) node with

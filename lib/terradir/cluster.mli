@@ -8,14 +8,35 @@
     - control traffic (replies, load probes/replies, replicate transfers) is
       small and rare: it shares the server's busy time (fixed
       [ctrl_service] cost) through a separate unbounded priority queue;
-    - the network is a constant application-layer delay, no contention;
+    - every message traverses the {!Terradir_sim.Net} model: latency is
+      sampled per message (constant by default, uniform jitter via
+      [net_jitter]), messages are lost iid with probability [net_loss],
+      and partitions installed on [net] silently swallow traffic across
+      the cut until healed.  With the default config the model degenerates
+      to the paper's constant-delay lossless network;
     - every message piggybacks sender load and (when stale at the receiver)
       the sender's inverse-mapping digest;
     - failures: {!kill} makes a server lose its soft state (replicas, cache,
       digests, peer loads) and drop traffic; in-flight messages to a dead
       server bounce back after one network delay, letting the sender prune
       the dead host from its maps and retry — queries thus survive host
-      failures when an alternative replica is known. *)
+      failures when an alternative replica is known;
+    - staleness decay: three durable-knowledge fallbacks keep routing live
+      under churn.  A stale forward (the receiver no longer hosts the
+      target) corrects the sender's map after one network delay, the dual
+      of the bounce for {e alive} hosts; a context map that bounce-pruning
+      would leave empty is re-seeded with the node's current owner (the
+      delegation is configuration, like a DNS NS record, never truly
+      forgotten); and a server left with no usable candidate — or only
+      sideways ones on a stale forward — falls back on the well-known root
+      contact and lets the query descend the owner chain;
+    - timeouts: when [rpc_timeout] is positive, every lookup and fetch
+      carries a per-request timer at its issuer.  An attempt that produces
+      no outcome in time (some message of it was silently lost) is
+      retransmitted with exponentially backed-off timeouts, up to
+      [max_retries] times; fetches fail over to alternate data holders
+      first.  The first outcome of any attempt finalizes the request;
+      duplicate results are discarded (counted as [late_replies]). *)
 
 open Types
 
@@ -29,7 +50,18 @@ type fetch_state = {
   f_node : node_id;
   f_started : float;
   mutable f_tried : server_id list;
+  mutable f_attempts : int;  (** timeout-driven retransmissions used *)
   f_on_done : (fetch_outcome -> unit) option;
+}
+
+(** Per-request issuer state for an in-flight lookup: survives across
+    retransmitted attempts; removed exactly once, on finalization. *)
+type query_ctx = {
+  qc_src : server_id;
+  qc_dst : node_id;
+  qc_born : float;
+  mutable qc_attempt : int;  (** newest attempt number (0 = original) *)
+  qc_on_complete : (outcome -> unit) option;
 }
 
 type t = {
@@ -39,12 +71,16 @@ type t = {
   servers : Server.t array;
   owner_of : server_id array;  (** ground-truth owner per node (bootstrap) *)
   rng : Terradir_util.Splitmix.t;
+  net : Terradir_sim.Net.t;
+      (** the fault-injectable transport; install partitions / change loss
+          on it directly ({!Terradir_sim.Net.partition}, [set_loss]) *)
   metrics : Metrics.t;
   hop_budget : int;
   replicas_created_per_level : int array;
   data_holders : server_id array array;
       (** node → servers durably holding its data (owner + static copies) *)
   pending_fetches : (int, fetch_state) Hashtbl.t;
+  pending_queries : (int, query_ctx) Hashtbl.t;
   mutable next_qid : int;
   mutable next_session : int;
   mutable next_fetch : int;

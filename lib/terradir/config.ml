@@ -11,6 +11,11 @@ type t = {
   service_mean : float;
   ctrl_service : float;
   network_delay : float;
+  net_jitter : float;
+  net_loss : float;
+  rpc_timeout : float;
+  max_retries : int;
+  retry_backoff : float;
   queue_capacity : int;
   load_window : float;
   high_water : float;
@@ -49,6 +54,11 @@ let default =
     service_mean = 0.020;
     ctrl_service = 0.002;
     network_delay = 0.025;
+    net_jitter = 0.0;
+    net_loss = 0.0;
+    rpc_timeout = 0.0;
+    max_retries = 3;
+    retry_backoff = 2.0;
     queue_capacity = 12;
     load_window = 0.5;
     high_water = 0.7;
@@ -80,6 +90,12 @@ let validate c =
   if c.service_mean <= 0.0 then fail "service_mean must be positive";
   if c.ctrl_service < 0.0 then fail "ctrl_service must be non-negative";
   if c.network_delay < 0.0 then fail "network_delay must be non-negative";
+  if c.net_jitter < 0.0 || c.net_jitter > c.network_delay then
+    fail "net_jitter must be in [0, network_delay]";
+  if not (c.net_loss >= 0.0 && c.net_loss <= 1.0) then fail "net_loss must be in [0, 1]";
+  if c.rpc_timeout < 0.0 then fail "rpc_timeout must be non-negative";
+  if c.max_retries < 0 then fail "max_retries must be non-negative";
+  if c.retry_backoff < 1.0 then fail "retry_backoff must be >= 1";
   if c.queue_capacity < 1 then fail "queue_capacity must be >= 1";
   if c.load_window <= 0.0 then fail "load_window must be positive";
   if not (c.high_water > 0.0 && c.high_water <= 1.0) then fail "high_water must be in (0, 1]";

@@ -36,7 +36,27 @@ type t = {
           system heterogeneity" (§5) *)
   service_mean : float;  (** mean exponential query service time, seconds *)
   ctrl_service : float;  (** fixed service time of a control message *)
-  network_delay : float;  (** constant application-layer network time *)
+  network_delay : float;  (** mean application-layer network time *)
+  net_jitter : float;
+      (** half-width of the uniform per-message latency jitter around
+          [network_delay] (0 = the paper's constant-delay network); must
+          not exceed [network_delay].  Richer latency models (lognormal)
+          are available on {!Terradir_sim.Net} directly *)
+  net_loss : float;
+      (** iid probability that any message is silently lost in the network
+          (0 = the paper's lossless network).  Lost queries and fetches
+          hang unless [rpc_timeout] arms the retransmission machinery *)
+  rpc_timeout : float;
+      (** per-request timer at the issuer for lookups and data fetches: an
+          attempt that produces no outcome within the timeout is
+          retransmitted (up to [max_retries] times, timeouts growing by
+          [retry_backoff]); 0 (the default) disables timers entirely —
+          exactly the seed semantics, where only explicit bounce-backs
+          from dead hosts trigger retry *)
+  max_retries : int;  (** retransmissions per request after the original *)
+  retry_backoff : float;
+      (** timeout multiplier per retransmission (>= 1); attempt [k] waits
+          [rpc_timeout * retry_backoff^k] *)
   queue_capacity : int;  (** per-server request queue bound; excess dropped *)
   load_window : float;  (** busy-fraction measurement window W *)
   high_water : float;  (** T_high floor: load that triggers replication sessions *)
@@ -90,7 +110,9 @@ val base : features
 val default : t
 (** The paper's defaults at simulation scale: 4096 servers, 20 ms service,
     25 ms network, queue bound 12, W = 0.5 s, T_high = 0.7, delta = 0.2,
-    r_fact = 2, r_map = 4, 24 cache slots, 600 s replica idle timeout, 1 s post-shed cooldown, features = {!bcr}, seed 42. *)
+    r_fact = 2, r_map = 4, 24 cache slots, 600 s replica idle timeout, 1 s post-shed cooldown, features = {!bcr}, seed 42.  Network faults
+    are off (no jitter, no loss, timers disabled) — the ideal transport
+    the paper evaluates under. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument with a description of the first violated

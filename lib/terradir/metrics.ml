@@ -7,6 +7,12 @@ type t = {
   mutable dropped_hops : int;
   mutable dropped_dead_end : int;
   mutable dropped_server_dead : int;
+  mutable dropped_timeout : int;
+  mutable net_lost : int;
+  mutable net_blocked : int;
+  mutable query_retransmits : int;
+  mutable fetch_retransmits : int;
+  mutable late_replies : int;
   mutable replicas_created : int;
   mutable replicas_evicted : int;
   mutable control_messages : int;
@@ -38,6 +44,12 @@ let create ~rng =
     dropped_hops = 0;
     dropped_dead_end = 0;
     dropped_server_dead = 0;
+    dropped_timeout = 0;
+    net_lost = 0;
+    net_blocked = 0;
+    query_retransmits = 0;
+    fetch_retransmits = 0;
+    late_replies = 0;
     replicas_created = 0;
     replicas_evicted = 0;
     control_messages = 0;
@@ -63,13 +75,15 @@ let create ~rng =
 
 let dropped_total t =
   t.dropped_queue + t.dropped_hops + t.dropped_dead_end + t.dropped_server_dead
+  + t.dropped_timeout
 
 let drop t reason ~now =
   (match reason with
   | Types.Queue_full -> t.dropped_queue <- t.dropped_queue + 1
   | Types.Hop_budget -> t.dropped_hops <- t.dropped_hops + 1
   | Types.Dead_end -> t.dropped_dead_end <- t.dropped_dead_end + 1
-  | Types.Server_dead -> t.dropped_server_dead <- t.dropped_server_dead + 1);
+  | Types.Server_dead -> t.dropped_server_dead <- t.dropped_server_dead + 1
+  | Types.Timed_out -> t.dropped_timeout <- t.dropped_timeout + 1);
   Timeseries.incr t.drops_ts now
 
 let resolve t ~latency ~hops ~now =
@@ -107,6 +121,20 @@ let summary_rows t =
     ("digest shortcuts", f "%d" t.shortcut_forwards);
     ("stale forwards", f "%d" t.stale_forwards);
   ]
+  @ (if
+       t.net_lost + t.net_blocked + t.query_retransmits + t.fetch_retransmits
+       + t.dropped_timeout + t.late_replies
+       = 0
+     then []
+     else
+       [
+         ("dropped (timed out)", f "%d" t.dropped_timeout);
+         ("messages lost (network)", f "%d" t.net_lost);
+         ("messages blocked (partition)", f "%d" t.net_blocked);
+         ("query retransmits", f "%d" t.query_retransmits);
+         ("fetch retransmits", f "%d" t.fetch_retransmits);
+         ("late replies discarded", f "%d" t.late_replies);
+       ])
   @
   if t.data_requests = 0 then []
   else

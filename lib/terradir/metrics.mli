@@ -14,6 +14,16 @@ type t = {
   mutable dropped_hops : int;
   mutable dropped_dead_end : int;
   mutable dropped_server_dead : int;
+  mutable dropped_timeout : int;
+      (** queries whose final attempt's timer expired (network faults) *)
+  (* network faults and retransmission (Net layer) *)
+  mutable net_lost : int;  (** messages silently lost by iid loss *)
+  mutable net_blocked : int;  (** messages dropped by an active partition *)
+  mutable query_retransmits : int;  (** lookup attempts beyond the original *)
+  mutable fetch_retransmits : int;  (** data-fetch attempts beyond the original *)
+  mutable late_replies : int;
+      (** resolutions that arrived after their request was finalized
+          (duplicate attempt won, or the request already timed out) *)
   (* replication protocol *)
   mutable replicas_created : int;
   mutable replicas_evicted : int;

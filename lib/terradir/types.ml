@@ -23,6 +23,9 @@ and drop_reason =
   | Hop_budget  (** routing failed to converge (staleness/loops) *)
   | Dead_end  (** no forwarding candidate (e.g. all known hosts dead) *)
   | Server_dead  (** delivered to a failed server with no retry possible *)
+  | Timed_out
+      (** the per-request timer expired with no retransmissions left —
+          some message of every attempt was silently lost in the network *)
 
 (** In-flight lookup query state.  [target] is the node on whose behalf the
     query was last forwarded — the receiving server is expected (but, with
@@ -31,7 +34,10 @@ and query = {
   qid : int;
   src_server : server_id;
   dst : node_id;
-  born : float;  (** injection time *)
+  attempt : int;
+      (** which transmission of the request this is (0 = original); the
+          issuer discards outcomes of superseded attempts *)
+  born : float;  (** injection time of the {e original} attempt *)
   mutable hops : int;  (** network hops taken so far *)
   mutable target : node_id;
   mutable path : (node_id * Node_map.t) list;
@@ -47,9 +53,10 @@ and query = {
           inaccuracy measure of §4.4 *)
   mutable result_map : Node_map.t;  (** destination map captured at resolution *)
   mutable result_meta : int;
-  on_complete : (outcome -> unit) option;
-      (** client callback — the hook client layers (retrieval, search) build on *)
 }
+(** The issuer's callback lives with the cluster's per-request state (keyed
+    by [qid]), not on the in-flight record: attempts are retransmitted and
+    raced, but the request completes exactly once. *)
 
 let path_cap = 32
 (** Bound on propagated path length; real deployments cap piggyback size. *)

@@ -3,6 +3,7 @@
 
 open Terradir_util
 open Terradir_namespace
+open Terradir_sim
 open Terradir
 open Terradir_workload
 
@@ -203,6 +204,183 @@ let test_owner_failure_drops_only_its_nodes () =
   Cluster.check_invariants cluster
 
 (* ------------------------------------------------------------------ *)
+(* Network faults: partitions, timeouts, retransmission                *)
+(* ------------------------------------------------------------------ *)
+
+(* One partition-then-heal run: servers 0-3 cut off from 4-15 between
+   t=5 and t=12, uniform traffic throughout, then a drain long enough for
+   every retransmission timer to expire.  Returns the full counter
+   snapshot.  [max_retries] is the variable under test: with retries the
+   partition window (7 s) sits inside the total attempt span
+   (1+2+4+8 = 15 s), so cross-cut queries injected during the partition
+   retry their way past the heal; with [max_retries = 0] the single 1 s
+   timer expires inside the partition and the query dies. *)
+let partition_heal_run ~max_retries ~seed =
+  let tree = Build.balanced ~arity:2 ~levels:5 in
+  let config =
+    {
+      Config.default with
+      Config.num_servers = 16;
+      seed;
+      rpc_timeout = 1.0;
+      max_retries;
+      retry_backoff = 2.0;
+    }
+  in
+  let cluster = Cluster.create ~config ~tree () in
+  let side_a = [ 0; 1; 2; 3 ] in
+  let side_b = List.init 12 (fun i -> i + 4) in
+  let pid = ref None in
+  Engine.schedule_at cluster.Cluster.engine 5.0 (fun () ->
+      pid := Some (Net.partition cluster.Cluster.net ~a:side_a ~b:side_b));
+  Engine.schedule_at cluster.Cluster.engine 12.0 (fun () ->
+      Option.iter (Net.heal cluster.Cluster.net) !pid);
+  Scenario.run cluster ~phases:(Stream.unif ~rate:100.0 ~duration:25.0) ~seed:33;
+  Cluster.run_until cluster (Cluster.now cluster +. 25.0);
+  Cluster.check_invariants cluster;
+  cluster
+
+let snapshot cluster =
+  let m = cluster.Cluster.metrics in
+  ( m.Metrics.injected,
+    m.Metrics.resolved,
+    Metrics.dropped_total m,
+    m.Metrics.dropped_timeout,
+    m.Metrics.query_retransmits,
+    m.Metrics.net_blocked,
+    Stats.mean m.Metrics.latency,
+    Stats.mean m.Metrics.hops )
+
+let test_partition_heal_recovers () =
+  let cluster = partition_heal_run ~max_retries:3 ~seed:21 in
+  let injected, resolved, dropped, timed_out, retransmits, blocked, _, _ = snapshot cluster in
+  Alcotest.(check int) "every query finalized" injected (resolved + dropped);
+  Alcotest.(check int) "no request left pending" 0
+    (Hashtbl.length cluster.Cluster.pending_queries);
+  Alcotest.(check bool) "the cut actually dropped traffic" true (blocked > 100);
+  Alcotest.(check bool) "timers actually fired" true (retransmits > 50);
+  (* retries carry cross-cut queries past the heal: near-total success *)
+  Alcotest.(check bool)
+    (Printf.sprintf "resolved %d/%d, timed out %d" resolved injected timed_out)
+    true
+    (float_of_int resolved /. float_of_int injected > 0.95);
+  (* after the heal, fresh queries across the former cut all resolve *)
+  let before = cluster.Cluster.metrics.Metrics.resolved in
+  let probes = [ (0, 40); (1, 17); (5, 3); (12, 9) ] in
+  List.iter (fun (src, dst) -> Cluster.inject cluster ~src ~dst) probes;
+  Cluster.run_until cluster (Cluster.now cluster +. 20.0);
+  Alcotest.(check int) "post-heal probes all resolve"
+    (before + List.length probes)
+    cluster.Cluster.metrics.Metrics.resolved
+
+let test_partition_heal_deterministic () =
+  (* the acceptance bar: the same seed must reproduce the identical
+     metrics snapshot, retransmissions and all *)
+  let a = snapshot (partition_heal_run ~max_retries:3 ~seed:21) in
+  let b = snapshot (partition_heal_run ~max_retries:3 ~seed:21) in
+  Alcotest.(check bool) "identical faulty runs" true (a = b)
+
+let test_no_retries_measurably_worse () =
+  let _, res_retry, _, to_retry, _, _, _, _ =
+    snapshot (partition_heal_run ~max_retries:3 ~seed:21)
+  in
+  let inj, res_none, _, to_none, _, _, _, _ =
+    snapshot (partition_heal_run ~max_retries:0 ~seed:21)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "resolved with retries %d vs without %d (of %d)" res_retry res_none inj)
+    true
+    (res_retry > res_none + 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "timeouts %d vs %d" to_retry to_none)
+    true (to_none > to_retry)
+
+let test_owner_lost_mid_fetch_fails_over () =
+  (* Two data holders per node; the owner becomes unreachable in two ways
+     (fail-stop -> bounce-driven failover; silent partition -> timer-driven
+     failover).  Either way the fetch must complete via the other holder. *)
+  let tree = Build.balanced ~arity:2 ~levels:5 in
+  let config =
+    {
+      Config.default with
+      Config.num_servers = 16;
+      seed = 6;
+      data_copies = 2;
+      rpc_timeout = 0.5;
+      max_retries = 3;
+      retry_backoff = 2.0;
+    }
+  in
+  let cluster = Cluster.create ~config ~tree () in
+  let pick_node ~client =
+    (* a node whose two holders are distinct and exclude the client *)
+    let rec find n =
+      let holders = cluster.Cluster.data_holders.(n) in
+      if Array.length holders = 2 && holders.(0) <> holders.(1)
+         && (not (Array.mem client holders))
+      then n
+      else find (n + 1)
+    in
+    find 0
+  in
+  (* bounce-driven: kill the owner while the request is in flight *)
+  let client = 7 in
+  let node = pick_node ~client in
+  let owner = cluster.Cluster.owner_of.(node) in
+  let outcome = ref None in
+  Cluster.fetch cluster ~client ~node ~on_done:(fun o -> outcome := Some o);
+  Cluster.kill cluster owner;
+  Cluster.run_until cluster (Cluster.now cluster +. 20.0);
+  (match !outcome with
+  | Some (Cluster.Fetched _) -> ()
+  | Some Cluster.Fetch_failed -> Alcotest.fail "fetch must fail over to the surviving holder"
+  | None -> Alcotest.fail "fetch never completed");
+  Cluster.revive cluster owner;
+  (* timer-driven: the owner is alive but silently unreachable *)
+  let client2 = 11 in
+  let node2 = pick_node ~client:client2 in
+  let owner2 = cluster.Cluster.owner_of.(node2) in
+  ignore (Net.partition cluster.Cluster.net ~a:[ client2 ] ~b:[ owner2 ]);
+  let outcome2 = ref None in
+  Cluster.fetch cluster ~client:client2 ~node:node2 ~on_done:(fun o -> outcome2 := Some o);
+  Cluster.run_until cluster (Cluster.now cluster +. 20.0);
+  (match !outcome2 with
+  | Some (Cluster.Fetched _) -> ()
+  | Some Cluster.Fetch_failed -> Alcotest.fail "fetch must time out onto the other holder"
+  | None -> Alcotest.fail "partitioned fetch never finalized");
+  Alcotest.(check int) "no fetch left pending" 0 (Hashtbl.length cluster.Cluster.pending_fetches)
+
+let test_dead_link_degrades_but_never_deadlocks () =
+  (* 100% loss on one directed link for the whole run (a directed
+     partition is exactly that).  Every request must still finalize:
+     resolved or counted dropped, nothing stuck. *)
+  let tree = Build.balanced ~arity:2 ~levels:5 in
+  let config =
+    {
+      Config.default with
+      Config.num_servers = 16;
+      seed = 14;
+      rpc_timeout = 0.5;
+      max_retries = 2;
+      retry_backoff = 2.0;
+    }
+  in
+  let cluster = Cluster.create ~config ~tree () in
+  ignore (Net.partition ~directed:true cluster.Cluster.net ~a:[ 0 ] ~b:[ 1 ]);
+  Scenario.run cluster ~phases:(Stream.unif ~rate:100.0 ~duration:20.0) ~seed:8;
+  Cluster.run_until cluster (Cluster.now cluster +. 20.0);
+  let m = cluster.Cluster.metrics in
+  Alcotest.(check int) "accounting identity" m.Metrics.injected
+    (m.Metrics.resolved + Metrics.dropped_total m);
+  Alcotest.(check int) "no query pending" 0 (Hashtbl.length cluster.Cluster.pending_queries);
+  Alcotest.(check bool) "link dropped traffic" true (m.Metrics.net_blocked > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "still mostly working: %d/%d" m.Metrics.resolved m.Metrics.injected)
+    true
+    (float_of_int m.Metrics.resolved /. float_of_int m.Metrics.injected > 0.9);
+  Cluster.check_invariants cluster
+
+(* ------------------------------------------------------------------ *)
 (* Membership change (ownership handoff extension)                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -358,6 +536,14 @@ let () =
           Alcotest.test_case "kill loses soft state" `Slow test_kill_loses_soft_state;
           Alcotest.test_case "replica failure survivable" `Slow test_queries_survive_replica_failure;
           Alcotest.test_case "owner failure scoped" `Slow test_owner_failure_drops_only_its_nodes;
+        ] );
+      ( "network-faults",
+        [
+          Alcotest.test_case "partition+heal recovers" `Slow test_partition_heal_recovers;
+          Alcotest.test_case "faulty run deterministic" `Slow test_partition_heal_deterministic;
+          Alcotest.test_case "no retries measurably worse" `Slow test_no_retries_measurably_worse;
+          Alcotest.test_case "fetch fails over" `Quick test_owner_lost_mid_fetch_fails_over;
+          Alcotest.test_case "dead link no deadlock" `Slow test_dead_link_degrades_but_never_deadlocks;
         ] );
       ( "cluster-props",
         List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_membership_churn_invariants ] );

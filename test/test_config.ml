@@ -20,6 +20,15 @@ let test_validation_rejects () =
   expect_invalid "service_mean" (fun c -> { c with Config.service_mean = 0.0 });
   expect_invalid "ctrl_service" (fun c -> { c with Config.ctrl_service = -1.0 });
   expect_invalid "network_delay" (fun c -> { c with Config.network_delay = -0.1 });
+  expect_invalid "net_jitter negative" (fun c -> { c with Config.net_jitter = -0.01 });
+  expect_invalid "net_jitter above delay" (fun c ->
+      { c with Config.net_jitter = c.Config.network_delay +. 0.01 });
+  expect_invalid "net_loss low" (fun c -> { c with Config.net_loss = -0.1 });
+  expect_invalid "net_loss high" (fun c -> { c with Config.net_loss = 1.1 });
+  expect_invalid "net_loss nan" (fun c -> { c with Config.net_loss = Float.nan });
+  expect_invalid "rpc_timeout" (fun c -> { c with Config.rpc_timeout = -1.0 });
+  expect_invalid "max_retries" (fun c -> { c with Config.max_retries = -1 });
+  expect_invalid "retry_backoff" (fun c -> { c with Config.retry_backoff = 0.9 });
   expect_invalid "queue_capacity" (fun c -> { c with Config.queue_capacity = 0 });
   expect_invalid "load_window" (fun c -> { c with Config.load_window = 0.0 });
   expect_invalid "high_water low" (fun c -> { c with Config.high_water = 0.0 });

@@ -93,6 +93,33 @@ let test_poisson_gap_mean () =
     (Invalid_argument "Dist.poisson_gap: rate must be positive") (fun () ->
       ignore (Dist.poisson_gap rng ~rate:0.0))
 
+let test_lognormal_shape () =
+  let rng = Splitmix.create 17 in
+  let n = 50_001 in
+  let mu = log 0.05 and sigma = 0.7 in
+  let samples = Array.init n (fun _ -> Dist.lognormal rng ~mu ~sigma) in
+  Alcotest.(check bool) "strictly positive" true (Array.for_all (fun x -> x > 0.0) samples);
+  Array.sort compare samples;
+  let median = samples.(n / 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.4f ~ exp mu = 0.05" median)
+    true
+    (abs_float (median -. 0.05) < 0.003);
+  (* mean of log-samples estimates mu *)
+  let s = Stats.create () in
+  Array.iter (fun x -> Stats.add s (log x)) samples;
+  Alcotest.(check bool) "log-mean ~ mu" true (abs_float (Stats.mean s -. mu) < 0.02)
+
+let test_lognormal_degenerate_and_validation () =
+  let rng = Splitmix.create 2 in
+  for _ = 1 to 20 do
+    Alcotest.(check (float 1e-9)) "sigma=0 is constant exp(mu)" (exp 1.5)
+      (Dist.lognormal rng ~mu:1.5 ~sigma:0.0)
+  done;
+  Alcotest.check_raises "sigma validation"
+    (Invalid_argument "Dist.lognormal: sigma must be non-negative") (fun () ->
+      ignore (Dist.lognormal rng ~mu:0.0 ~sigma:(-0.1)))
+
 let test_zipf_probabilities () =
   let z = Dist.Zipf.create ~alpha:1.0 ~n:100 in
   let total = ref 0.0 in
@@ -178,6 +205,8 @@ let () =
       ( "dist",
         [
           Alcotest.test_case "poisson gap mean" `Quick test_poisson_gap_mean;
+          Alcotest.test_case "lognormal shape" `Quick test_lognormal_shape;
+          Alcotest.test_case "lognormal edge cases" `Quick test_lognormal_degenerate_and_validation;
           Alcotest.test_case "zipf pmf" `Quick test_zipf_probabilities;
           Alcotest.test_case "zipf alpha=0" `Quick test_zipf_alpha_zero_uniform;
           Alcotest.test_case "zipf sampling" `Quick test_zipf_sampling_matches_pmf;
