@@ -2,7 +2,9 @@
 
    1. Bechamel micro-benchmarks of the protocol's hot operations.
    2. Regeneration of every table and figure in the paper's evaluation
-      (§4), at a configurable scale.
+      (§4), at a configurable scale, fanned out over TERRADIR_JOBS domains.
+   3. A machine-readable report, written to TERRADIR_BENCH_OUT (default
+      BENCH_results.json; schema documented in EXPERIMENTS.md).
 
    The default scale is 1/32 of the paper's 4096-server testbed so the
    whole suite completes in minutes; set TERRADIR_BENCH_SCALE (e.g. 0.125)
@@ -26,36 +28,108 @@ let scale = getenv_float "TERRADIR_BENCH_SCALE" (1.0 /. 32.0)
 
 let seed = getenv_int "TERRADIR_BENCH_SEED" 42
 
+let out_file =
+  match Sys.getenv_opt "TERRADIR_BENCH_OUT" with
+  | Some f -> f
+  | None -> "BENCH_results.json"
+
 (* Durations in simulated seconds: compressed relative to the paper's
    250 s (Figs. 3–6) and 10000 s (Fig. 8) horizons so the whole suite
    finishes in minutes — each series still contains the warmup, multiple
    popularity shifts, and (for Fig. 8) an unambiguous decay tail.  Pass a
    larger TERRADIR_BENCH_SCALE and edit here for paper-scale runs. *)
-let figures =
+let durations =
   [
-    ("table1", fun () -> E.Table1.print (E.Table1.run ~scale ~seed ()));
-    ("fig3", fun () -> E.Fig3.print (E.Fig3.run ~scale ~duration:180.0 ~seed ()));
-    ("fig4", fun () -> E.Fig4.print (E.Fig4.run ~scale ~duration:180.0 ~seed ()));
-    ("fig5", fun () -> E.Fig5.print (E.Fig5.run ~scale ~duration:100.0 ~seed ()));
-    ("fig6", fun () -> E.Fig6.print (E.Fig6.run ~scale ~duration:180.0 ~seed ()));
-    ("fig7", fun () -> E.Fig7.print (E.Fig7.run ~scale ~duration:120.0 ~seed ()));
-    ("fig8", fun () -> E.Fig8.print (E.Fig8.run ~scale ~duration:480.0 ~seed ()));
-    ("fig9", fun () -> E.Fig9.print (E.Fig9.run ~scale ~duration:80.0 ~seed ()));
-    ("rfact", fun () -> E.Rfact.print (E.Rfact.run ~scale ~duration:120.0 ~seed ()));
-    ("ablations", fun () -> E.Ablations.print (E.Ablations.run ~scale ~duration:100.0 ~seed ()));
-    ("hetero", fun () -> E.Hetero.print (E.Hetero.run ~scale ~duration:110.0 ~seed ()));
+    ("fig3", 180.0);
+    ("fig4", 180.0);
+    ("fig5", 100.0);
+    ("fig6", 180.0);
+    ("fig7", 120.0);
+    ("fig8", 480.0);
+    ("fig9", 80.0);
+    ("rfact", 120.0);
+    ("ablations", 100.0);
+    ("hetero", 110.0);
   ]
+
+type figure_report = { id : string; wall_s : float; events : int }
+
+(* Hand-written JSON (the image carries no JSON library); every string we
+   emit is a known identifier, so escaping only needs the basics. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let write_report ~jobs ~total_wall ~micro ~figures =
+  let micro_json =
+    micro
+    |> List.map (fun (name, ns) ->
+           Printf.sprintf "    { \"name\": %s, \"ns_per_run\": %s }" (json_string name)
+             (json_float ns))
+    |> String.concat ",\n"
+  in
+  let figures_json =
+    figures
+    |> List.map (fun f ->
+           let events_per_sec =
+             if f.wall_s > 0.0 then float_of_int f.events /. f.wall_s else 0.0
+           in
+           Printf.sprintf
+             "    { \"id\": %s, \"wall_s\": %s, \"events_executed\": %d, \"events_per_sec\": %s }"
+             (json_string f.id) (json_float f.wall_s) f.events (json_float events_per_sec))
+    |> String.concat ",\n"
+  in
+  let oc = open_out out_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 1,\n\
+    \  \"scale\": %s,\n\
+    \  \"seed\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"total_wall_s\": %s,\n\
+    \  \"micro_ns_per_run\": [\n%s\n  ],\n\
+    \  \"figures\": [\n%s\n  ]\n\
+     }\n"
+    (json_float scale) seed jobs (json_float total_wall) micro_json figures_json;
+  close_out oc;
+  Printf.printf "Report written to %s\n" out_file
 
 let () =
   let t0 = Unix.gettimeofday () in
-  Printf.printf "TerraDir soft-state replication benchmark suite (scale=%.4f, seed=%d)\n\n%!"
-    scale seed;
-  Micro.run ();
-  List.iter
-    (fun (id, run) ->
-      let start = Unix.gettimeofday () in
-      Printf.printf "\n===== %s =====\n%!" id;
-      run ();
-      Printf.printf "[%s completed in %.1fs wall]\n%!" id (Unix.gettimeofday () -. start))
-    figures;
-  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let jobs = E.Runner.jobs () in
+  Printf.printf
+    "TerraDir soft-state replication benchmark suite (scale=%.4f, seed=%d, jobs=%d)\n\n%!"
+    scale seed jobs;
+  let micro = Micro.run () in
+  let figures =
+    List.map
+      (fun entry ->
+        let id = entry.E.Registry.id in
+        let duration = List.assoc_opt id durations in
+        let events_before = E.Runner.events_executed () in
+        let start = Unix.gettimeofday () in
+        Printf.printf "\n===== %s =====\n%!" id;
+        entry.E.Registry.run ~scale ?duration ~seed ();
+        let wall_s = Unix.gettimeofday () -. start in
+        let events = E.Runner.events_executed () - events_before in
+        Printf.printf "[%s completed in %.1fs wall, %d engine events]\n%!" id wall_s events;
+        { id; wall_s; events })
+      E.Registry.all
+  in
+  let total_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nTotal wall time: %.1fs\n" total_wall;
+  write_report ~jobs ~total_wall ~micro ~figures

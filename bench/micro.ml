@@ -126,6 +126,16 @@ let bench_load_meter =
       Load_meter.end_busy m !t;
       ignore (Load_meter.load m !t)))
 
+let bench_node_map_of_entries =
+  (* 24 entries with duplicate servers and mixed owner flags — the shape
+     [merge] and context assembly feed through [of_entries]. *)
+  let entries =
+    List.init 24 (fun i ->
+        { Node_map.server = i mod 9; is_owner = i mod 5 = 0; stamp = float_of_int ((i * 31) mod 17) })
+  in
+  Test.make ~name:"node_map_of_entries"
+    (Staged.stage (fun () -> ignore (Node_map.of_entries ~max:8 entries)))
+
 let bench_splitmix_exp =
   let g = Splitmix.create 8 in
   Test.make ~name:"splitmix_exponential" (Staged.stage (fun () -> ignore (Splitmix.exponential g 0.02)))
@@ -136,6 +146,7 @@ let all =
     bench_tree_distance;
     bench_node_map_merge;
     bench_node_map_merge_subsumed;
+    bench_node_map_of_entries;
     bench_bloom_mem;
     bench_cache_insert;
     bench_engine_event;
@@ -143,6 +154,8 @@ let all =
     bench_splitmix_exp;
   ]
 
+(* Runs every micro-benchmark, prints the table, and returns
+   [(name, ns_per_run)] for the JSON report. *)
 let run () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -152,6 +165,7 @@ let run () =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
   print_endline "== micro-benchmarks (ns per call) ==";
+  let acc = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -159,7 +173,10 @@ let run () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+          | Some [ est ] ->
+            Printf.printf "  %-28s %12.1f ns/run\n%!" name est;
+            acc := (name, est) :: !acc
           | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
         analyzed)
-    all
+    all;
+  List.rev !acc

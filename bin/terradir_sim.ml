@@ -22,6 +22,16 @@ let seed_arg =
   let doc = "Deterministic simulation seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains to fan experiment cells over (default: TERRADIR_JOBS, else all \
+     cores minus one).  Results are bit-identical for any value; 1 runs \
+     sequentially in-process."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs jobs = Experiments.Runner.set_jobs jobs
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -42,7 +52,12 @@ let run_cmd =
     let doc = "Write plot-ready CSV files to $(docv) instead of printing tables." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
   in
-  let run id scale seed csv =
+  let duration_arg =
+    let doc = "Simulated seconds per run (experiment default if absent)." in
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SEC" ~doc)
+  in
+  let run id scale seed csv duration jobs =
+    apply_jobs jobs;
     match (Experiments.Registry.find id, csv) with
     | None, _ ->
       Printf.eprintf "unknown experiment %S; try: %s\n" id
@@ -54,16 +69,17 @@ let run_cmd =
       Printf.eprintf "%s has no CSV form (try: %s)\n" id
         (String.concat " " Experiments.Csv_export.exportable);
       exit 1
-    | Some e, None -> e.Experiments.Registry.run ~scale ~seed ()
+    | Some e, None -> e.Experiments.Registry.run ~scale ?duration ~seed ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate one table/figure")
-    Term.(const run $ id_arg $ scale_arg $ seed_arg $ csv_arg)
+    Term.(const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ duration_arg $ jobs_arg)
 
 (* ---- all ---- *)
 
 let all_cmd =
-  let run scale seed =
+  let run scale seed jobs =
+    apply_jobs jobs;
     List.iter
       (fun e ->
         Printf.printf "\n===== %s — %s =====\n" e.Experiments.Registry.id
@@ -73,7 +89,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure")
-    Term.(const run $ scale_arg $ seed_arg)
+    Term.(const run $ scale_arg $ seed_arg $ jobs_arg)
 
 (* ---- custom ---- *)
 

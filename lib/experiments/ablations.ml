@@ -49,6 +49,7 @@ let run_one ?scale ?(features = Config.bcr) ?(stream = `Zipf) ~seed ~duration ~d
     | `Unif -> unif_phases setup ~duration
   in
   Scenario.run cluster ~phases ~seed:(seed + 7);
+  Runner.record_events cluster;
   { dimension; variant; metrics = measure cluster }
 
 let no_prep (_ : Cluster.t) = ()
@@ -59,22 +60,26 @@ let no_prep (_ : Cluster.t) = ()
 let no_digests = { Config.bcr with Config.digests = false }
 
 let run ?scale ?(duration = 120.0) ?(seed = 42) () =
+  (* Each ablation cell is captured as a thunk (nothing shared across
+     cells) and the whole battery is dispatched through the pool. *)
   let one = run_one ?scale ~seed ~duration in
   let cache_policy =
     [
-      one ~features:no_digests ~stream:`Unif ~dimension:"cache-policy"
-        ~variant:"path-propagation"
-        (fun c -> { c with Config.cache_policy = Config.Path_propagation })
-        no_prep;
-      one ~features:no_digests ~stream:`Unif ~dimension:"cache-policy"
-        ~variant:"endpoints-only"
-        (fun c -> { c with Config.cache_policy = Config.Endpoints_only })
-        no_prep;
+      (fun () ->
+        one ~features:no_digests ~stream:`Unif ~dimension:"cache-policy"
+          ~variant:"path-propagation"
+          (fun c -> { c with Config.cache_policy = Config.Path_propagation })
+          no_prep);
+      (fun () ->
+        one ~features:no_digests ~stream:`Unif ~dimension:"cache-policy"
+          ~variant:"endpoints-only"
+          (fun c -> { c with Config.cache_policy = Config.Endpoints_only })
+          no_prep);
     ]
   in
   let cache_size =
     List.map
-      (fun slots ->
+      (fun slots () ->
         one ~features:no_digests ~stream:`Unif ~dimension:"cache-size"
           ~variant:(string_of_int slots)
           (fun c -> { c with Config.cache_slots = slots })
@@ -83,7 +88,7 @@ let run ?scale ?(duration = 120.0) ?(seed = 42) () =
   in
   let map_size =
     List.map
-      (fun r_map ->
+      (fun r_map () ->
         one ~dimension:"r-map" ~variant:(string_of_int r_map)
           (fun c -> { c with Config.r_map = r_map })
           no_prep)
@@ -92,25 +97,32 @@ let run ?scale ?(duration = 120.0) ?(seed = 42) () =
   let static_levels = 4 and static_copies = 3 in
   let static =
     [
-      one ~dimension:"replication" ~variant:"adaptive" Fun.id no_prep;
-      one ~dimension:"replication" ~variant:"static-top-levels"
-        (fun c ->
-          {
-            c with
-            Config.features = Config.bc (* no adaptive replication *);
-            replica_idle_timeout = 1.0e6 (* static copies must persist *);
-          })
-        (fun cluster ->
-          ignore (Static_replication.apply cluster ~levels:static_levels ~copies:static_copies));
-      one ~dimension:"replication" ~variant:"static+adaptive"
-        (fun c -> c)
-        (fun cluster ->
-          ignore (Static_replication.apply cluster ~levels:static_levels ~copies:static_copies));
-      one ~dimension:"replication" ~variant:"none" (fun c -> { c with Config.features = Config.bc })
-        no_prep;
+      (fun () -> one ~dimension:"replication" ~variant:"adaptive" Fun.id no_prep);
+      (fun () ->
+        one ~dimension:"replication" ~variant:"static-top-levels"
+          (fun c ->
+            {
+              c with
+              Config.features = Config.bc (* no adaptive replication *);
+              replica_idle_timeout = 1.0e6 (* static copies must persist *);
+            })
+          (fun cluster ->
+            ignore
+              (Static_replication.apply cluster ~levels:static_levels ~copies:static_copies)));
+      (fun () ->
+        one ~dimension:"replication" ~variant:"static+adaptive"
+          (fun c -> c)
+          (fun cluster ->
+            ignore
+              (Static_replication.apply cluster ~levels:static_levels ~copies:static_copies)));
+      (fun () ->
+        one ~dimension:"replication" ~variant:"none"
+          (fun c -> { c with Config.features = Config.bc })
+          no_prep);
     ]
   in
-  { rows = cache_policy @ cache_size @ map_size @ static }
+  let cells = cache_policy @ cache_size @ map_size @ static in
+  { rows = Runner.map (fun cell -> cell ()) cells }
 
 let print r =
   print_endline "Ablations — design choices under uzipf1.25 with shifts (N_S)";

@@ -16,8 +16,9 @@ type result = {
 }
 
 let run ?scale ?(duration = 250.0) ?(seed = 42) () =
+  (* One pool cell per stream; each builds its own setup and cluster. *)
   let series =
-    List.map
+    Runner.map
       (fun (label, phases) ->
         let setup = Common.make ?scale ~seed Common.NS in
         let cluster = Runner.run_phases setup phases in

@@ -20,7 +20,9 @@ let stream_specs =
   [ ("S", Common.NS, Common.paper_lambda_fig3); ("C", Common.NC, Common.paper_lambda_fig4) ]
 
 let run ?scale ?(duration = 120.0) ?(seed = 42) () =
-  let cells =
+  (* Enumerate all 30 (namespace x stream x system) cells up front, then
+     run each as a self-contained pool cell. *)
+  let specs =
     List.concat_map
       (fun (suffix, ns, paper_rate) ->
         let base_setup = Common.make ?scale ~seed ns in
@@ -28,17 +30,18 @@ let run ?scale ?(duration = 120.0) ?(seed = 42) () =
         List.concat_map
           (fun (stream_label, phases) ->
             List.map
-              (fun (system, features) ->
-                let setup = Common.make ?scale ~features ~seed ns in
-                let cluster = Runner.run_phases setup phases in
-                {
-                  stream = stream_label ^ suffix;
-                  system;
-                  drop_fraction = Metrics.drop_fraction cluster.Cluster.metrics;
-                })
+              (fun (system, features) -> (ns, stream_label ^ suffix, phases, system, features))
               systems)
           streams)
       stream_specs
+  in
+  let cells =
+    Runner.map
+      (fun (ns, stream, phases, system, features) ->
+        let setup = Common.make ?scale ~features ~seed ns in
+        let cluster = Runner.run_phases setup phases in
+        { stream; system; drop_fraction = Metrics.drop_fraction cluster.Cluster.metrics })
+      specs
   in
   { cells }
 

@@ -24,8 +24,9 @@ let paper_rates = [ 4000.0; 10000.0; 20000.0 ]
 let smoothing_window = 11
 
 let run ?scale ?(duration = 250.0) ?(seed = 42) () =
+  (* One pool cell per arrival rate. *)
   let runs =
-    List.map
+    Runner.map
       (fun paper_rate ->
         let setup = Common.make ?scale ~seed Common.NS in
         let phases =

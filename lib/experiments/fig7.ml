@@ -16,27 +16,27 @@ type result = { runs : series list }
 let paper_rates = [ 2000.0; 4000.0; 8000.0 ]
 
 let run ?scale ?(duration = 150.0) ?(seed = 42) () =
-  let one label phases setup =
-    let cluster = Runner.run_phases setup phases in
-    { label; per_level = Cluster.replicas_per_level cluster `Created }
+  (* One pool cell per (stream kind, rate); setups are built inside the
+     cell so no state crosses domains. *)
+  let specs =
+    List.concat_map (fun rate -> [ (`Unif, rate); (`Uzipf, rate) ]) paper_rates
   in
   let runs =
-    List.concat_map
-      (fun paper_rate ->
-        let setup () = Common.make ?scale ~seed Common.NS in
-        let s1 = setup () in
-        let s2 = setup () in
-        [
-          one
-            (Printf.sprintf "unif l=%.0f" paper_rate)
-            (Common.unif_stream s1 ~paper_rate ~duration)
-            s1;
-          one
-            (Printf.sprintf "uzipf l=%.0f" paper_rate)
-            (Common.uzipf_stream s2 ~paper_rate ~alpha:1.00 ~duration)
-            s2;
-        ])
-      paper_rates
+    Runner.map
+      (fun (kind, paper_rate) ->
+        let setup = Common.make ?scale ~seed Common.NS in
+        let label, phases =
+          match kind with
+          | `Unif ->
+            ( Printf.sprintf "unif l=%.0f" paper_rate,
+              Common.unif_stream setup ~paper_rate ~duration )
+          | `Uzipf ->
+            ( Printf.sprintf "uzipf l=%.0f" paper_rate,
+              Common.uzipf_stream setup ~paper_rate ~alpha:1.00 ~duration )
+        in
+        let cluster = Runner.run_phases setup phases in
+        { label; per_level = Cluster.replicas_per_level cluster `Created })
+      specs
   in
   { runs }
 

@@ -24,8 +24,10 @@ let run ?scale ?(duration = 1200.0) ?(seed = 42) () =
       ("uzipfC1.00", Common.NC, Common.paper_lambda_fig4, Some 1.00);
     ]
   in
+  (* One pool cell per (namespace, stream) spec — fig8 runs are the
+     longest in the suite, so this is where fan-out pays the most. *)
   let runs =
-    List.map
+    Runner.map
       (fun (label, ns, paper_rate, alpha) ->
         let setup = Common.make ?scale ~seed ns in
         let rate = setup.Common.rate paper_rate in

@@ -30,8 +30,9 @@ let sizes ?(scale = 1.0 /. 16.0) () =
   List.init 6 (fun i -> smallest * (1 lsl i))
 
 let run ?scale ?(duration = 90.0) ?(seed = 42) () =
+  (* One pool cell per system size. *)
   let rows =
-    List.map
+    Runner.map
       (fun servers ->
         let scale_for = float_of_int servers /. float_of_int Common.paper_servers in
         let tweak c =

@@ -29,11 +29,13 @@ let spreads = [ 1.0; 4.0; 16.0 ]
 let systems = [ ("BC", Config.bc); ("BCR", Config.bcr) ]
 
 let run ?scale ?(duration = 120.0) ?(seed = 42) () =
+  (* One pool cell per (spread, system) pair. *)
+  let specs =
+    List.concat_map (fun spread -> List.map (fun sys -> (spread, sys)) systems) spreads
+  in
   let rows =
-    List.concat_map
-      (fun spread ->
-        List.map
-          (fun (system, features) ->
+    Runner.map
+      (fun (spread, (system, features)) ->
             let tweak c = { c with Config.speed_spread = spread } in
             let setup = Common.make ?scale ~features ~seed ~config_tweak:tweak Common.NS in
             let phases =
@@ -53,8 +55,7 @@ let run ?scale ?(duration = 120.0) ?(seed = 42) () =
               mean_latency = Stats.mean m.Metrics.latency;
               mean_load_of_max = mean_of_max;
             })
-          systems)
-      spreads
+      specs
   in
   { rows }
 

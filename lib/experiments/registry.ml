@@ -1,7 +1,7 @@
 type entry = {
   id : string;
   title : string;
-  run : ?scale:float -> ?seed:int -> unit -> unit;
+  run : ?scale:float -> ?duration:float -> ?seed:int -> unit -> unit;
 }
 
 let all =
@@ -9,57 +9,59 @@ let all =
     {
       id = "table1";
       title = "Table 1: server-node relationships";
-      run = (fun ?scale ?seed () -> Table1.print (Table1.run ?scale ?seed ()));
+      run = (fun ?scale ?duration:_ ?seed () -> Table1.print (Table1.run ?scale ?seed ()));
     };
     {
       id = "fig3";
       title = "Fig 3: dropped queries over time (N_S)";
-      run = (fun ?scale ?seed () -> Fig3.print (Fig3.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Fig3.print (Fig3.run ?scale ?duration ?seed ()));
     };
     {
       id = "fig4";
       title = "Fig 4: replicas created over time (N_C)";
-      run = (fun ?scale ?seed () -> Fig4.print (Fig4.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Fig4.print (Fig4.run ?scale ?duration ?seed ()));
     };
     {
       id = "fig5";
       title = "Fig 5: drop fraction, B vs BC vs BCR";
-      run = (fun ?scale ?seed () -> Fig5.print (Fig5.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Fig5.print (Fig5.run ?scale ?duration ?seed ()));
     };
     {
       id = "fig6";
       title = "Fig 6: utilization and load balance";
-      run = (fun ?scale ?seed () -> Fig6.print (Fig6.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Fig6.print (Fig6.run ?scale ?duration ?seed ()));
     };
     {
       id = "fig7";
       title = "Fig 7: replicas per namespace level";
-      run = (fun ?scale ?seed () -> Fig7.print (Fig7.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Fig7.print (Fig7.run ?scale ?duration ?seed ()));
     };
     {
       id = "fig8";
       title = "Fig 8: stabilization over long runs";
-      run = (fun ?scale ?seed () -> Fig8.print (Fig8.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Fig8.print (Fig8.run ?scale ?duration ?seed ()));
     };
     {
       id = "fig9";
       title = "Fig 9: scalability with system size";
-      run = (fun ?scale ?seed () -> Fig9.print (Fig9.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Fig9.print (Fig9.run ?scale ?duration ?seed ()));
     };
     {
       id = "rfact";
       title = "par. 4.4 ablation: replication factor, digests, oracle";
-      run = (fun ?scale ?seed () -> Rfact.print (Rfact.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Rfact.print (Rfact.run ?scale ?duration ?seed ()));
     };
     {
       id = "ablations";
       title = "design-choice ablations: cache policy/size, r_map, static replication";
-      run = (fun ?scale ?seed () -> Ablations.print (Ablations.run ?scale ?seed ()));
+      run =
+        (fun ?scale ?duration ?seed () ->
+          Ablations.print (Ablations.run ?scale ?duration ?seed ()));
     };
     {
       id = "hetero";
       title = "par. 5 claim: exploiting server heterogeneity";
-      run = (fun ?scale ?seed () -> Hetero.print (Hetero.run ?scale ?seed ()));
+      run = (fun ?scale ?duration ?seed () -> Hetero.print (Hetero.run ?scale ?duration ?seed ()));
     };
   ]
 

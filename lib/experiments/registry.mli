@@ -5,7 +5,9 @@
 type entry = {
   id : string;  (** e.g. "fig3" *)
   title : string;
-  run : ?scale:float -> ?seed:int -> unit -> unit;  (** run and print *)
+  run : ?scale:float -> ?duration:float -> ?seed:int -> unit -> unit;
+      (** run and print; [duration] is in simulated seconds and is ignored
+          by entries without a time axis (table1) *)
 }
 
 val all : entry list

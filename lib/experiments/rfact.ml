@@ -34,11 +34,11 @@ let r_facts = [ 0.125; 0.25; 0.5; 2.0 ]
 let modes = [ Oracle; Digests; No_digests ]
 
 let run ?scale ?(duration = 150.0) ?(seed = 42) () =
+  (* One pool cell per (r_fact, mode) pair. *)
+  let specs = List.concat_map (fun r -> List.map (fun m -> (r, m)) modes) r_facts in
   let rows =
-    List.concat_map
-      (fun r_fact ->
-        List.map
-          (fun mode ->
+    Runner.map
+      (fun (r_fact, mode) ->
             let features =
               { Config.bcr with Config.digests = (mode = Digests) }
             in
@@ -64,8 +64,7 @@ let run ?scale ?(duration = 150.0) ?(seed = 42) () =
               shortcut_share =
                 float_of_int m.Metrics.shortcut_forwards /. float_of_int forwards;
             })
-          modes)
-      r_facts
+      specs
   in
   { rows }
 

@@ -1,9 +1,60 @@
 open Terradir
+open Terradir_util
 open Terradir_workload
+
+(* ------------------------------------------------------------------ *)
+(* Parallel fan-out                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Set from the main domain before any fan-out (tests pin it); reads from
+   worker closures never happen — [jobs] is resolved by the dispatching
+   domain only. *)
+let forced_jobs = ref None
+
+let set_jobs j = forced_jobs := j
+
+let jobs () =
+  match !forced_jobs with
+  | Some j -> max 1 j
+  | None -> (
+    match Sys.getenv_opt "TERRADIR_JOBS" with
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> Pool.recommended_jobs ())
+    | None -> Pool.recommended_jobs ())
+
+let with_jobs j f =
+  let saved = !forced_jobs in
+  forced_jobs := Some j;
+  Fun.protect ~finally:(fun () -> forced_jobs := saved) f
+
+let map f cells = Pool.map ~domains:(jobs ()) f cells
+
+(* ------------------------------------------------------------------ *)
+(* Simulation-cost accounting                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Engine events executed across every run driven through [run_phases],
+   summed atomically so concurrent domains account correctly.  The sum is
+   order-independent, hence identical for any jobs count. *)
+let events = Atomic.make 0
+
+let events_executed () = Atomic.get events
+
+let record_events cluster =
+  ignore
+    (Atomic.fetch_and_add events
+       (Terradir_sim.Engine.events_executed cluster.Cluster.engine))
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell driver                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let run_phases ?(workload_seed = 1009) setup phases =
   let cluster = Common.cluster setup in
   Scenario.run cluster ~phases ~seed:workload_seed;
+  record_events cluster;
   cluster
 
 let named_streams setup ~paper_rate ~duration =

@@ -1,5 +1,41 @@
-(** Small shared driver: build a cluster for a setup, run a stream, hand
-    back the cluster for measurement. *)
+(** Shared experiment driver: build a cluster for a setup, run a stream,
+    hand back the cluster for measurement — plus the multicore fan-out that
+    dispatches independent (figure, stream, seed) cells over a domain pool.
+
+    {b Concurrency model.}  Every cell is a self-contained closure: it
+    builds its own {!Common.setup} (fresh tree, fresh calibration), its own
+    [Cluster] (fresh engine, fresh [Splitmix] streams), and touches no
+    state shared with any other cell.  Results are therefore bit-identical
+    for any jobs count; parallelism only changes wall-clock. *)
+
+val jobs : unit -> int
+(** Fan-out width used by {!map}: the value pinned by {!set_jobs} /
+    {!with_jobs} if any, else the [TERRADIR_JOBS] environment variable,
+    else [Domain.recommended_domain_count () - 1].  [1] is the sequential
+    path (no domain is spawned). *)
+
+val set_jobs : int option -> unit
+(** Pin (or unpin, with [None]) the fan-out width, overriding the
+    environment.  Test binaries pin [Some 1] so [dune runtest] stays on the
+    sequential path by default.  Main-domain only. *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** Run a thunk with the fan-out width pinned, restoring the previous
+    setting afterwards (also on exceptions). *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** [Terradir_util.Pool.map] at {!jobs} domains: order-preserving,
+    exception-propagating.  Cells must be self-contained closures (see the
+    concurrency model above). *)
+
+val events_executed : unit -> int
+(** Total engine events executed by every {!run_phases} call so far, summed
+    across domains (monotonic; the benchmark harness reads deltas). *)
+
+val record_events : Terradir.Cluster.t -> unit
+(** Fold a cluster's engine-event count into {!events_executed} — for
+    drivers that run {!Terradir_workload.Scenario.run} themselves instead
+    of going through {!run_phases}. *)
 
 val run_phases :
   ?workload_seed:int ->

@@ -40,6 +40,7 @@ let run ?scale ?(seed = 42) () =
     ~phases:
       [ { Stream.duration = 30.0; rate; dist = Stream.Zipf { alpha = 1.2; reshuffle = true } } ]
     ~seed:(seed + 1);
+  Runner.record_events cluster;
   let kinds =
     Array.to_list cluster.Cluster.servers
     |> List.concat_map (fun s -> List.map snd (Server.state_kinds s))

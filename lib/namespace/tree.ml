@@ -4,6 +4,7 @@ type t = {
   component : string array; (* id -> last name component; "" for root *)
   parent : int array; (* id -> parent id; root -> -1 *)
   children : int array array;
+  neighbors : int list array; (* id -> parent :: children, precomputed *)
   depth : int array;
   by_path : (string, int) Hashtbl.t; (* canonical full path -> id *)
   max_depth : int;
@@ -86,10 +87,19 @@ module Builder = struct
     let children = Array.init n (fun i -> Array.of_list (List.rev b.kids.(i))) in
     let depth = Array.sub b.depths 0 n in
     let max_depth = Array.fold_left max 0 depth in
+    (* Neighbor lists are read on every replica install/evict and every
+       context assembly; the tree is immutable once frozen, so build them
+       once here instead of re-allocating parent :: children per call. *)
+    let neighbors =
+      Array.init n (fun v ->
+          let kids = Array.to_list children.(v) in
+          if v = 0 then kids else b.parents.(v) :: kids)
+    in
     {
       component = Array.sub b.comps 0 n;
       parent = Array.sub b.parents 0 n;
       children;
+      neighbors;
       depth;
       by_path = b.paths;
       max_depth;
@@ -126,8 +136,7 @@ let max_depth t = t.max_depth
 
 let neighbors t v =
   check_node t v "neighbors";
-  let kids = Array.to_list t.children.(v) in
-  if v = 0 then kids else t.parent.(v) :: kids
+  t.neighbors.(v)
 
 let find t n = Hashtbl.find_opt t.by_path (Name.to_string n)
 

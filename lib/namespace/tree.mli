@@ -56,7 +56,9 @@ val depth : t -> node -> int
 val max_depth : t -> int
 
 val neighbors : t -> node -> node list
-(** Parent (if any) followed by children — the node's routing context. *)
+(** Parent (if any) followed by children — the node's routing context.
+    Precomputed at freeze time: O(1), and callers on hot paths may rely on
+    repeated calls returning the same (immutable) list without allocating. *)
 
 val find : t -> Name.t -> node option
 (** Name lookup; O(depth) hash probes. *)

@@ -9,7 +9,7 @@ type fetch_state = {
   f_client : server_id;
   f_node : node_id;
   f_started : float;
-  mutable f_tried : server_id list;
+  f_tried : (server_id, unit) Hashtbl.t;
   mutable f_attempts : int;
   f_on_done : (fetch_outcome -> unit) option;
 }
@@ -389,8 +389,11 @@ and fetch_attempt t fetch_id =
   | None -> ()
   | Some f -> (
     let holders = t.data_holders.(f.f_node) in
+    (* Constant-time membership: with many data copies and a long failover
+       history, the old [List.mem h f_tried] filter was O(tried x holders)
+       per attempt and quadratic across a failover sequence. *)
     let untried =
-      Array.to_list holders |> List.filter (fun h -> not (List.mem h f.f_tried))
+      Array.to_list holders |> List.filter (fun h -> not (Hashtbl.mem f.f_tried h))
     in
     match untried with
     | [] ->
@@ -399,7 +402,7 @@ and fetch_attempt t fetch_id =
       Option.iter (fun k -> k Fetch_failed) f.f_on_done
     | _ ->
       let holder = List.nth untried (Splitmix.int t.rng (List.length untried)) in
-      f.f_tried <- holder :: f.f_tried;
+      Hashtbl.replace f.f_tried holder ();
       send t ~from:f.f_client ~to_:holder
         (Data_request { fetch_id; node = f.f_node; client = f.f_client }))
 
@@ -802,7 +805,7 @@ let rec arm_fetch_timer t fetch_id =
               cur.f_attempts <- attempt + 1;
               t.metrics.Metrics.fetch_retransmits <- t.metrics.Metrics.fetch_retransmits + 1;
               let holders = t.data_holders.(cur.f_node) in
-              if Array.for_all (fun h -> List.mem h cur.f_tried) holders then cur.f_tried <- [];
+              if Array.for_all (Hashtbl.mem cur.f_tried) holders then Hashtbl.reset cur.f_tried;
               fetch_attempt t fetch_id;
               arm_fetch_timer t fetch_id
             end
@@ -819,7 +822,7 @@ let fetch ?on_done t ~client ~node =
       f_client = client;
       f_node = node;
       f_started = now t;
-      f_tried = [];
+      f_tried = Hashtbl.create 8;
       f_attempts = 0;
       f_on_done = on_done;
     };

@@ -49,7 +49,9 @@ type fetch_state = {
   f_client : server_id;
   f_node : node_id;
   f_started : float;
-  mutable f_tried : server_id list;
+  f_tried : (server_id, unit) Hashtbl.t;
+      (** holders already attempted this failover round (constant-time
+          membership; cleared when every holder has been tried) *)
   mutable f_attempts : int;  (** timeout-driven retransmissions used *)
   f_on_done : (fetch_outcome -> unit) option;
 }

@@ -3,9 +3,12 @@ open Terradir_util
 type entry = { server : int; is_owner : bool; stamp : float }
 
 type t = entry list
-(* Invariant: no duplicate servers; owners first, then newest-first.
-   Maps are tiny (≤ r_map, typically 4) and merged on every query hop, so
-   the implementation favors small-list operations over hashing. *)
+(* Invariant: no duplicate servers, and the list is sorted by [order]
+   (owners first, then newest-first, server id as the tie-break).  Maps are
+   tiny (≤ r_map, typically 4) and merged on every query hop, so the
+   implementation favors small-list operations over hashing — and, because
+   every stored map is already sorted, construction is a single dedup +
+   ordered-insertion pass with no List.sort on the hot path. *)
 
 let empty = []
 
@@ -31,30 +34,46 @@ let order a b =
     match compare (b.stamp : float) a.stamp with 0 -> compare a.server b.server | c -> c)
 
 (* Newest stamp wins; the owner flag is sticky (a server once seen as owner
-   stays owner even if a later stale entry forgot the flag).  Quadratic,
-   which beats hashing at these sizes. *)
-let dedup entries =
-  let combine x e =
-    { server = e.server; is_owner = x.is_owner || e.is_owner; stamp = Float.max x.stamp e.stamp }
-  in
-  let rec add acc e =
-    match acc with
-    | [] -> [ e ]
-    | x :: rest -> if x.server = e.server then combine x e :: rest else x :: add rest e
-  in
-  List.fold_left add [] entries
+   stays owner even if a later stale entry forgot the flag). *)
+let combine x e =
+  { server = e.server; is_owner = x.is_owner || e.is_owner; stamp = Float.max x.stamp e.stamp }
 
-let truncate ~max entries =
-  let sorted = List.sort order entries in
-  List.filteri (fun i _ -> i < max) sorted
+(* [order] is total with a unique tie-break, so a deduped entry set has
+   exactly one sorted form: maintaining it by insertion gives the same list
+   the old sort-after-dedup pipeline produced, one element at a time. *)
+let rec insert_no_dup e = function
+  | [] -> [ e ]
+  | x :: rest as l -> if order e x <= 0 then e :: l else x :: insert_no_dup e rest
+
+(* Fold one entry into a sorted, deduped list: combine with any existing
+   entry for the same server, then place the result at its sort position.
+   Two short scans of a ≤ r_map-sized list — no allocation beyond the
+   rebuilt spine, no comparator closures handed to List.sort. *)
+let add_entry sorted e =
+  let rec strip acc = function
+    | [] -> insert_no_dup e sorted
+    | x :: rest when x.server = e.server ->
+      insert_no_dup (combine x e) (List.rev_append acc rest)
+    | x :: rest -> strip (x :: acc) rest
+  in
+  strip [] sorted
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
 
 let of_entries ~max entries =
   if max < 1 then invalid_arg "Node_map.of_entries: max must be >= 1";
-  truncate ~max (dedup entries)
+  let sorted = List.fold_left add_entry [] entries in
+  take max sorted
 
 let singleton ?(is_owner = false) ~server ~stamp () = [ { server; is_owner; stamp } ]
 
-let add ~max t entry = of_entries ~max (entry :: t)
+(* [t] already satisfies the sorted/deduped invariant: one insertion pass
+   suffices, no rebuild of the whole map. *)
+let add ~max t entry =
+  if max < 1 then invalid_arg "Node_map.of_entries: max must be >= 1";
+  take max (add_entry t entry)
 
 let remove t s = List.filter (fun e -> e.server <> s) t
 
@@ -86,24 +105,35 @@ let subsumes a b =
         a)
     b
 
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as l -> if n <= 0 then l else drop (n - 1) rest
+
 let merge ~max rng a b =
   if max < 1 then invalid_arg "Node_map.merge: max must be >= 1";
   if (a == b || subsumes a b) && size a <= max then a
   else begin
-    let all = dedup (List.rev_append a b) in
-    let owners, rest = List.partition (fun e -> e.is_owner) all in
-    let owners = truncate ~max owners in
+    (* Both inputs are sorted and deduped (the representation invariant),
+       so folding [b] into [a] yields the combined set already in sorted
+       order — owners form a prefix, the rest is newest-first — with no
+       partition/sort/sort pipeline behind it. *)
+    let all = List.fold_left add_entry a b in
+    let rec split_owners acc = function
+      | e :: rest when e.is_owner -> split_owners (e :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let owners, rest = split_owners [] all in
+    let owners = take max owners in
     let slots = max - List.length owners in
     if slots <= 0 then owners
     else begin
       (* Keep the newest half of the remaining budget, fill the rest
          randomly from what is left so maps decorrelate across servers. *)
-      let rest = List.sort order rest in
       let keep_newest = (slots + 1) / 2 in
-      let newest = List.filteri (fun i _ -> i < keep_newest) rest in
-      let remainder = List.filteri (fun i _ -> i >= keep_newest) rest in
+      let newest = take keep_newest rest in
+      let remainder = drop keep_newest rest in
       let filled = draw rng remainder (slots - List.length newest) [] in
-      List.sort order (owners @ newest @ filled)
+      List.fold_left (fun acc e -> insert_no_dup e acc) (owners @ newest) filled
     end
   end
 

@@ -122,13 +122,25 @@ let install_hosted t node kind ~map ~meta_version ~context ~now =
   (match kind with
   | Owned -> t.owned_count <- t.owned_count + 1
   | Replicated -> t.replica_count <- t.replica_count + 1);
-  List.iter
-    (fun nb ->
+  (* Every producer of a context assembles it by mapping over
+     [Tree.neighbors], so the common case is both lists in lockstep — walk
+     them together and only fall back to an assoc scan for a sender that
+     reordered or omitted entries.  This turns context installation from
+     O(neighbors x context) scans into one linear pass. *)
+  let rec walk nbs ctx =
+    match (nbs, ctx) with
+    | [], _ -> ()
+    | nb :: nbs', (n, m) :: ctx' when n = nb ->
+      ref_neighbor t nb m;
+      walk nbs' ctx'
+    | nb :: nbs', _ ->
       let nb_map =
         match List.assoc_opt nb context with Some m -> m | None -> Node_map.empty
       in
-      ref_neighbor t nb nb_map)
-    (Tree.neighbors t.tree node);
+      ref_neighbor t nb nb_map;
+      walk nbs' ctx
+  in
+  walk (Tree.neighbors t.tree node) context;
   rebuild_digest t
 
 let add_owned t node ~owner_of ~now =

@@ -1,0 +1,50 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Each slot is written exactly once, by whichever worker claimed its index;
+   the claim goes through [next], so no index is ever written twice.  The
+   caller reads the slots only after joining every worker, which publishes
+   the writes (Domain.join is a synchronization point). *)
+type 'b outcome =
+  | Pending
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let map ?domains f xs =
+  (match domains with
+  | Some d when d < 1 -> invalid_arg "Pool.map: domains must be >= 1"
+  | _ -> ());
+  let n = List.length xs in
+  let k = min (match domains with Some d -> d | None -> recommended_jobs ()) n in
+  if k <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let worker () =
+      let rec loop () =
+        if not (Atomic.get failed) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f input.(i) with
+            | v -> results.(i) <- Done v
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              results.(i) <- Raised (e, bt);
+              Atomic.set failed true);
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let workers = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is a worker too, so [domains] is a total. *)
+    worker ();
+    Array.iter Domain.join workers;
+    Array.iter
+      (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | Pending | Done _ -> ())
+      results;
+    Array.to_list
+      (Array.map (function Done v -> v | Pending | Raised _ -> assert false) results)
+  end

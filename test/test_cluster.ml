@@ -350,6 +350,57 @@ let test_owner_lost_mid_fetch_fails_over () =
   | None -> Alcotest.fail "partitioned fetch never finalized");
   Alcotest.(check int) "no fetch left pending" 0 (Hashtbl.length cluster.Cluster.pending_fetches)
 
+let test_fetch_failover_many_holders () =
+  (* Regression for the failover holder filter: with many data copies the
+     tried-set is consulted once per remaining holder on every attempt, so
+     a long failover chain (here 11 dead holders before the survivor) used
+     to cost O(tried²) list scans.  Behavior must be unchanged: walk the
+     dead holders via bounces, complete on the survivor, and fail cleanly
+     when no holder is left. *)
+  let tree = Build.balanced ~arity:2 ~levels:5 in
+  let config =
+    {
+      Config.default with
+      Config.num_servers = 32;
+      seed = 8;
+      data_copies = 12;
+      rpc_timeout = 0.5;
+      max_retries = 3;
+      retry_backoff = 2.0;
+    }
+  in
+  let cluster = Cluster.create ~config ~tree () in
+  let client = 3 in
+  let node =
+    let rec find n =
+      let holders = cluster.Cluster.data_holders.(n) in
+      if Array.length holders = 12 && not (Array.mem client holders) then n else find (n + 1)
+    in
+    find 0
+  in
+  let holders = cluster.Cluster.data_holders.(node) in
+  (* keep exactly one non-owner holder alive *)
+  let survivor = holders.(Array.length holders - 1) in
+  Array.iter (fun h -> if h <> survivor then Cluster.kill cluster h) holders;
+  let outcome = ref None in
+  Cluster.fetch cluster ~client ~node ~on_done:(fun o -> outcome := Some o);
+  Cluster.run_until cluster (Cluster.now cluster +. 30.0);
+  (match !outcome with
+  | Some (Cluster.Fetched _) -> ()
+  | Some Cluster.Fetch_failed ->
+    Alcotest.fail "fetch must fail over across 11 dead holders to the survivor"
+  | None -> Alcotest.fail "fetch never completed");
+  (* with the survivor also gone, the chain exhausts and fails cleanly *)
+  Cluster.kill cluster survivor;
+  let outcome2 = ref None in
+  Cluster.fetch cluster ~client ~node ~on_done:(fun o -> outcome2 := Some o);
+  Cluster.run_until cluster (Cluster.now cluster +. 60.0);
+  (match !outcome2 with
+  | Some Cluster.Fetch_failed -> ()
+  | Some (Cluster.Fetched _) -> Alcotest.fail "no holder is alive; fetch cannot succeed"
+  | None -> Alcotest.fail "exhausted fetch never finalized");
+  Alcotest.(check int) "no fetch left pending" 0 (Hashtbl.length cluster.Cluster.pending_fetches)
+
 let test_dead_link_degrades_but_never_deadlocks () =
   (* 100% loss on one directed link for the whole run (a directed
      partition is exactly that).  Every request must still finalize:
@@ -543,6 +594,7 @@ let () =
           Alcotest.test_case "faulty run deterministic" `Slow test_partition_heal_deterministic;
           Alcotest.test_case "no retries measurably worse" `Slow test_no_retries_measurably_worse;
           Alcotest.test_case "fetch fails over" `Quick test_owner_lost_mid_fetch_fails_over;
+          Alcotest.test_case "fetch failover, many holders" `Quick test_fetch_failover_many_holders;
           Alcotest.test_case "dead link no deadlock" `Slow test_dead_link_degrades_but_never_deadlocks;
         ] );
       ( "cluster-props",

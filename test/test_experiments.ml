@@ -3,6 +3,10 @@
 
 module E = Terradir_experiments
 
+(* Keep the default test run on the sequential path; the determinism test
+   below opts into domains explicitly via [Runner.with_jobs]. *)
+let () = E.Runner.set_jobs (Some 1)
+
 let scale = 0.002 (* 8 servers *)
 
 let scale_mid = 0.008
@@ -244,6 +248,38 @@ let test_csv_export () =
     (Invalid_argument "Csv_export.export: unknown or non-exportable experiment nope") (fun () ->
       ignore (E.Csv_export.export ~id:"nope" ~dir ()))
 
+(* The tentpole guarantee: fanning cells over domains changes wall-clock
+   only.  Run the same figure sequentially and at jobs=4 and require
+   structurally identical results, then byte-compare a CSV export. *)
+let test_parallel_determinism () =
+  let seq = E.Fig3.run ~scale ~duration:90.0 ~seed:42 () in
+  let par = E.Runner.with_jobs 4 (fun () -> E.Fig3.run ~scale ~duration:90.0 ~seed:42 ()) in
+  Alcotest.(check int) "jobs pin restored" 1 (E.Runner.jobs ());
+  Alcotest.(check (list string)) "same stream labels"
+    (List.map fst seq.E.Fig3.series) (List.map fst par.E.Fig3.series);
+  List.iter2
+    (fun (label, a) (_, b) ->
+      Alcotest.(check bool) (label ^ " bit-identical") true (a = b))
+    seq.E.Fig3.series par.E.Fig3.series;
+  let r5_seq = E.Fig5.run ~scale ~duration:80.0 ~seed:42 () in
+  let r5_par = E.Runner.with_jobs 4 (fun () -> E.Fig5.run ~scale ~duration:80.0 ~seed:42 ()) in
+  Alcotest.(check bool) "fig5 cells bit-identical" true (r5_seq = r5_par)
+
+let test_parallel_csv_identical () =
+  let tmp = Filename.get_temp_dir_name () in
+  let dir_seq = Filename.concat tmp "terradir_csv_seq" in
+  let dir_par = Filename.concat tmp "terradir_csv_par" in
+  let files_seq = E.Csv_export.export ~id:"fig7" ~scale ~seed:42 ~dir:dir_seq () in
+  let files_par =
+    E.Runner.with_jobs 4 (fun () -> E.Csv_export.export ~id:"fig7" ~scale ~seed:42 ~dir:dir_par ())
+  in
+  Alcotest.(check int) "same file count" (List.length files_seq) (List.length files_par);
+  List.iter2
+    (fun a b ->
+      let read path = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check string) (Filename.basename a ^ " bytes") (read a) (read b))
+    files_seq files_par
+
 let test_registry_complete () =
   let ids = E.Registry.ids () in
   List.iter
@@ -276,5 +312,10 @@ let () =
           Alcotest.test_case "ablations" `Slow test_ablations;
           Alcotest.test_case "hetero" `Slow test_hetero;
           Alcotest.test_case "csv export" `Slow test_csv_export;
+        ] );
+      ( "parallelism",
+        [
+          Alcotest.test_case "determinism across jobs" `Slow test_parallel_determinism;
+          Alcotest.test_case "csv identical across jobs" `Slow test_parallel_csv_identical;
         ] );
     ]

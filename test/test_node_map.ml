@@ -142,6 +142,106 @@ let prop_merge_servers_from_inputs =
       let m = Node_map.merge ~max:4 rng a b in
       List.for_all (fun s -> Node_map.mem a s || Node_map.mem b s) (Node_map.servers m))
 
+(* ------------------------------------------------------------------ *)
+(* Old-vs-new equivalence                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference reimplementation of the pre-optimization sort-based Node_map
+   on plain entry lists.  The current single-pass insertion code must
+   agree bit-for-bit — including rng consumption in [merge], since the
+   random fill feeds back into simulation trajectories. *)
+module Reference = struct
+  open Node_map
+
+  let order (a : entry) (b : entry) =
+    match (b.is_owner, a.is_owner) with
+    | true, false -> 1
+    | false, true -> -1
+    | _ -> (
+      match compare (b.stamp : float) a.stamp with
+      | 0 -> compare a.server b.server
+      | c -> c)
+
+  let dedup entries =
+    let combine x e =
+      { server = e.server; is_owner = x.is_owner || e.is_owner; stamp = Float.max x.stamp e.stamp }
+    in
+    let rec add acc e =
+      match acc with
+      | [] -> [ e ]
+      | x :: rest -> if x.server = e.server then combine x e :: rest else x :: add rest e
+    in
+    List.fold_left add [] entries
+
+  let truncate ~max entries =
+    let sorted = List.sort order entries in
+    List.filteri (fun i _ -> i < max) sorted
+
+  let of_entries ~max entries = truncate ~max (dedup entries)
+
+  let rec draw rng pool want acc =
+    if want <= 0 then acc
+    else
+      match pool with
+      | [] -> acc
+      | _ ->
+        let i = Splitmix.int rng (List.length pool) in
+        let rec split k seen = function
+          | [] -> assert false
+          | e :: rest ->
+            if k = 0 then (e, List.rev_append seen rest) else split (k - 1) (e :: seen) rest
+        in
+        let e, rest = split i [] pool in
+        draw rng rest (want - 1) (e :: acc)
+
+  let subsumes a b =
+    List.for_all
+      (fun (eb : entry) ->
+        List.exists
+          (fun (ea : entry) ->
+            ea.server = eb.server && ea.stamp >= eb.stamp && (ea.is_owner || not eb.is_owner))
+          a)
+      b
+
+  let merge ~max rng a b =
+    if subsumes a b && List.length a <= max then a
+    else begin
+      let all = dedup (List.rev_append a b) in
+      let owners, rest = List.partition (fun (e : entry) -> e.is_owner) all in
+      let owners = truncate ~max owners in
+      let slots = max - List.length owners in
+      if slots <= 0 then owners
+      else begin
+        let rest = List.sort order rest in
+        let keep_newest = (slots + 1) / 2 in
+        let newest = List.filteri (fun i _ -> i < keep_newest) rest in
+        let remainder = List.filteri (fun i _ -> i >= keep_newest) rest in
+        let filled = draw rng remainder (slots - List.length newest) [] in
+        List.sort order (owners @ newest @ filled)
+      end
+    end
+end
+
+let prop_of_entries_matches_reference =
+  QCheck.Test.make ~name:"node_map: single-pass of_entries == sort-based reference" ~count:500
+    QCheck.(pair (int_range 1 6) arb_entries)
+    (fun (max, entries) ->
+      Node_map.entries (Node_map.of_entries ~max entries) = Reference.of_entries ~max entries)
+
+let prop_merge_matches_reference =
+  QCheck.Test.make
+    ~name:"node_map: merge == sort-based reference (result and rng consumption)" ~count:500
+    QCheck.(quad (int_range 1 6) arb_entries arb_entries small_nat)
+    (fun (max, ea, eb, seed) ->
+      let a = Node_map.of_entries ~max ea and b = Node_map.of_entries ~max eb in
+      let ra = Reference.of_entries ~max ea and rb = Reference.of_entries ~max eb in
+      let rng = Splitmix.create seed and ref_rng = Splitmix.create seed in
+      let m = Node_map.merge ~max rng a b in
+      let rm = Reference.merge ~max ref_rng ra rb in
+      Node_map.entries m = rm
+      (* both sides drew the same number of randoms iff the streams agree *)
+      && Splitmix.int rng 1_000_000 = Splitmix.int ref_rng 1_000_000)
+
 let () =
   Alcotest.run "terradir_node_map"
     [
@@ -165,5 +265,7 @@ let () =
             prop_no_duplicate_servers;
             prop_merge_bounded_and_owner_stable;
             prop_merge_servers_from_inputs;
+            prop_of_entries_matches_reference;
+            prop_merge_matches_reference;
           ] );
     ]

@@ -1,0 +1,66 @@
+(* Tests for the experiment fan-out pool: order preservation, exception
+   propagation, and the sequential fallback. *)
+
+open Terradir_util
+
+exception Boom of int
+
+let test_order_preserved () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "domains=4" expected (Pool.map ~domains:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int))
+    "more domains than items" expected
+    (Pool.map ~domains:64 (fun x -> x * x) xs)
+
+let test_sequential_fallback () =
+  (* domains=1 must never spawn: the applications run on the calling domain
+     in list order, observable through a (domain-local) side effect. *)
+  let trace = ref [] in
+  let out = Pool.map ~domains:1 (fun x -> trace := x :: !trace; x + 1) [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "results" [ 4; 2; 3 ] out;
+  Alcotest.(check (list int)) "applied in order" [ 3; 1; 2 ] (List.rev !trace)
+
+let test_edge_cases () =
+  Alcotest.(check (list int)) "empty list" [] (Pool.map ~domains:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map ~domains:4 (fun x -> x * 9) [ 1 ]);
+  Alcotest.check_raises "domains must be positive"
+    (Invalid_argument "Pool.map: domains must be >= 1") (fun () ->
+      ignore (Pool.map ~domains:0 Fun.id [ 1 ]))
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      match Pool.map ~domains (fun x -> if x = 7 then raise (Boom x) else x) (List.init 32 Fun.id) with
+      | _ -> Alcotest.failf "domains=%d: expected Boom" domains
+      | exception Boom 7 -> ())
+    [ 1; 2; 4 ]
+
+let test_all_work_executes () =
+  (* Every item is applied exactly once even with contention: count
+     applications through an atomic. *)
+  let hits = Atomic.make 0 in
+  let xs = List.init 500 Fun.id in
+  let out = Pool.map ~domains:8 (fun x -> Atomic.incr hits; 2 * x) xs in
+  Alcotest.(check int) "every item applied once" 500 (Atomic.get hits);
+  Alcotest.(check (list int)) "results" (List.map (fun x -> 2 * x) xs) out
+
+let prop_matches_list_map =
+  QCheck.Test.make ~count:50 ~name:"Pool.map ~domains:k == List.map"
+    QCheck.(pair (small_list small_int) (int_range 1 8))
+    (fun (xs, domains) ->
+      Pool.map ~domains (fun x -> (x * 31) + 7) xs = List.map (fun x -> (x * 31) + 7) xs)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "all work executes" `Quick test_all_work_executes;
+          QCheck_alcotest.to_alcotest prop_matches_list_map;
+        ] );
+    ]
