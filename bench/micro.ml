@@ -170,13 +170,18 @@ let run () =
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let analyzed = Analyze.all ols (Instance.monotonic_clock) results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      let rows =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun name ols_result l -> (name, ols_result) :: l) analyzed [])
+      in
+      List.iter
+        (fun (name, ols_result) ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
             Printf.printf "  %-28s %12.1f ns/run\n%!" name est;
             acc := (name, est) :: !acc
           | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
-        analyzed)
+        rows)
     all;
   List.rev !acc

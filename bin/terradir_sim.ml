@@ -32,6 +32,32 @@ let jobs_arg =
 
 let apply_jobs jobs = Experiments.Runner.set_jobs jobs
 
+let audit_arg =
+  let doc =
+    "Run the invariant auditor alongside the simulation (see also \
+     TERRADIR_AUDIT).  Violations are collected and reported at the end \
+     instead of aborting the run."
+  in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
+(* Must run before any cluster is created and before the runner spawns
+   worker domains: [force_enable]/[set_mode] are plain refs that the
+   workers read but never write. *)
+let apply_audit audit =
+  if audit then begin
+    Invariant.force_enable ();
+    Invariant.set_mode `Collect
+  end
+
+let report_audit audit =
+  if audit then
+    match Invariant.collected_reports () with
+    | [] -> prerr_endline "audit: clean (no invariant violations)"
+    | reports ->
+      List.iter prerr_endline reports;
+      Printf.eprintf "audit: %d run(s) reported violations\n" (List.length reports);
+      exit 3
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -56,9 +82,10 @@ let run_cmd =
     let doc = "Simulated seconds per run (experiment default if absent)." in
     Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SEC" ~doc)
   in
-  let run id scale seed csv duration jobs =
+  let run id scale seed csv duration jobs audit =
     apply_jobs jobs;
-    match (Experiments.Registry.find id, csv) with
+    apply_audit audit;
+    (match (Experiments.Registry.find id, csv) with
     | None, _ ->
       Printf.eprintf "unknown experiment %S; try: %s\n" id
         (String.concat " " (Experiments.Registry.ids ()));
@@ -69,27 +96,30 @@ let run_cmd =
       Printf.eprintf "%s has no CSV form (try: %s)\n" id
         (String.concat " " Experiments.Csv_export.exportable);
       exit 1
-    | Some e, None -> e.Experiments.Registry.run ~scale ?duration ~seed ()
+    | Some e, None -> e.Experiments.Registry.run ~scale ?duration ~seed ());
+    report_audit audit
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate one table/figure")
-    Term.(const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ duration_arg $ jobs_arg)
+    Term.(const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ duration_arg $ jobs_arg $ audit_arg)
 
 (* ---- all ---- *)
 
 let all_cmd =
-  let run scale seed jobs =
+  let run scale seed jobs audit =
     apply_jobs jobs;
+    apply_audit audit;
     List.iter
       (fun e ->
         Printf.printf "\n===== %s — %s =====\n" e.Experiments.Registry.id
           e.Experiments.Registry.title;
         e.Experiments.Registry.run ~scale ~seed ())
-      Experiments.Registry.all
+      Experiments.Registry.all;
+    report_audit audit
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure")
-    Term.(const run $ scale_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ scale_arg $ seed_arg $ jobs_arg $ audit_arg)
 
 (* ---- custom ---- *)
 
@@ -113,7 +143,8 @@ let custom_cmd =
     let doc = "Feature set: B (base), BC (caching), BCR (full)." in
     Arg.(value & opt string "BCR" & info [ "system" ] ~docv:"SYS" ~doc)
   in
-  let run servers namespace rate duration alpha shifts system seed =
+  let run servers namespace rate duration alpha shifts system seed audit =
+    apply_audit audit;
     let tree =
       match String.split_on_char ':' namespace with
       | [ "balanced"; levels ] -> Terradir_namespace.Build.balanced ~arity:2 ~levels:(int_of_string levels)
@@ -146,11 +177,14 @@ let custom_cmd =
     Tablefmt.print ~header:[ "metric"; "value" ]
       (List.map (fun (k, v) -> [ k; v ]) (Metrics.summary_rows cluster.Cluster.metrics));
     Printf.printf "engine events executed: %d\n"
-      (Terradir_sim.Engine.events_executed cluster.Cluster.engine)
+      (Terradir_sim.Engine.events_executed cluster.Cluster.engine);
+    report_audit audit
   in
   Cmd.v
     (Cmd.info "custom" ~doc:"Run a custom simulation")
-    Term.(const run $ servers $ namespace $ rate $ duration $ alpha $ shifts $ system $ seed_arg)
+    Term.(
+      const run $ servers $ namespace $ rate $ duration $ alpha $ shifts $ system $ seed_arg
+      $ audit_arg)
 
 (* ---- trace ---- *)
 

@@ -12,6 +12,11 @@ val export :
 val exportable : string list
 (** Ids accepted by {!export}. *)
 
+val series_csv : index_label:string -> (string * float array) list -> string
+(** CSV-encode named time/level series as columns, one row per index —
+    the encoding every per-second figure export uses (exposed so tests can
+    byte-compare figure output against committed goldens). *)
+
 val metrics_csv : Terradir.Metrics.t -> string
 (** One metric/value row per {!Terradir.Metrics.summary_rows} entry —
     the whole-run counter snapshot (including the network-fault block when

@@ -46,7 +46,7 @@ let run ?scale ?(duration = 120.0) ?(seed = 42) () =
   { cells }
 
 let streams_in r =
-  List.sort_uniq compare (List.map (fun c -> c.stream) r.cells)
+  List.sort_uniq String.compare (List.map (fun c -> c.stream) r.cells)
 
 let lookup r ~stream ~system =
   match List.find_opt (fun c -> c.stream = stream && c.system = system) r.cells with

@@ -1,0 +1,29 @@
+(** Figure 9: scalability.  System size doubles step by step; nodes per
+    server stay constant (~8, balanced binary namespace), λ grows
+    proportionally, cache slots grow logarithmically (2·log2 S − 2) and
+    r_map grows logarithmically.
+
+    Reported per size: average query latency (hops and seconds — the paper
+    plots a logarithmically growing latency), log10 of replication events,
+    and log10 of dropped queries (both roughly linear in system size,
+    hence straight lines on the log scale). *)
+
+type row = {
+  servers : int;
+  nodes : int;
+  mean_hops : float;
+  mean_latency : float;
+  replications : int;
+  drops : int;
+  resolved : int;
+}
+
+type result = { rows : row list }
+
+val sizes : ?scale:float -> unit -> int list
+(** Scaled counterpart of the paper's 2^9..2^14 sweep: six doublings,
+    starting from 512·scale servers (so scale=1 reproduces 2^9..2^14). *)
+
+val run : ?scale:float -> ?duration:float -> ?seed:int -> unit -> result
+
+val print : result -> unit

@@ -44,7 +44,7 @@ let run ?scale ?(seed = 42) () =
   let kinds =
     Array.to_list cluster.Cluster.servers
     |> List.concat_map (fun s -> List.map snd (Server.state_kinds s))
-    |> List.sort_uniq compare
+    |> List.sort_uniq String.compare
   in
   let verified =
     List.for_all (fun (kind, _) -> List.mem kind kinds) canonical

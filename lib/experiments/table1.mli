@@ -1,0 +1,16 @@
+(** Table 1: server–node relationships and the state kept for each.
+
+    The table itself is a design artifact; here we re-derive it from the
+    live implementation: build a small cluster, induce replication and
+    caching through traffic, and check that a server holding each
+    relationship kind actually maintains exactly the state the table
+    claims. *)
+
+val canonical : (string * bool list) list
+(** The paper's table: kind → (name, map, data, meta, context) presence. *)
+
+type result = { kinds_seen : string list; verified : bool }
+
+val run : ?scale:float -> ?seed:int -> unit -> result
+
+val print : result -> unit

@@ -4,9 +4,12 @@ type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable clock : float;
   mutable executed : int;
+  mutable observer : (int * (unit -> unit)) option;
+      (** (cadence, hook): run the hook after every [cadence]-th event,
+          between events — never inside one *)
 }
 
-let create () = { queue = Pqueue.create (); clock = 0.0; executed = 0 }
+let create () = { queue = Pqueue.create (); clock = 0.0; executed = 0; observer = None }
 
 let now t = t.clock
 
@@ -22,6 +25,14 @@ let schedule t ~delay f =
 
 let pending t = Pqueue.length t.queue
 
+let next_time t = Option.map fst (Pqueue.min t.queue)
+
+let set_observer t ~every f =
+  if every < 1 then invalid_arg "Engine.set_observer: every must be >= 1";
+  t.observer <- Some (every, f)
+
+let clear_observer t = t.observer <- None
+
 let step t =
   match Pqueue.pop t.queue with
   | None -> false
@@ -29,6 +40,9 @@ let step t =
     t.clock <- time;
     t.executed <- t.executed + 1;
     f ();
+    (match t.observer with
+    | Some (every, obs) when t.executed mod every = 0 -> obs ()
+    | Some _ | None -> ());
     true
 
 let run ?until t =

@@ -27,6 +27,20 @@ val schedule_at : t -> float -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of events not yet executed. *)
 
+val next_time : t -> float option
+(** Timestamp of the earliest pending event, if any — what the clock will
+    advance to on the next {!step}. *)
+
+val set_observer : t -> every:int -> (unit -> unit) -> unit
+(** Install the engine's (single) observer: the hook runs after every
+    [every]-th executed event, strictly {e between} events — handlers never
+    see it mid-flight.  The hook must not schedule events or otherwise
+    perturb the simulation; it exists for auditing (invariant checks,
+    progress probes).  Replaces any previous observer.
+    @raise Invalid_argument if [every < 1]. *)
+
+val clear_observer : t -> unit
+
 val run : ?until:float -> t -> unit
 (** Execute events in timestamp order.  With [until], stops (without
     executing them) at the first event strictly after [until] and advances

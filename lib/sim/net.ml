@@ -78,6 +78,7 @@ let partition ?(directed = false) t ~a ~b =
     h
   in
   let p_a = side a and p_b = side b in
+  (* lint: ordered existence check: raises iff the intersection is non-empty, in any visit order *)
   Hashtbl.iter
     (fun id () -> if Hashtbl.mem p_b id then invalid_arg "Net.partition: sides intersect")
     p_a;

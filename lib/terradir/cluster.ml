@@ -41,9 +41,17 @@ type t = {
   mutable next_fetch : int;
   mutable last_src : server_id;
   epochs : int array;
+  audit : Invariant.t option;
 }
 
 let now t = Engine.now t.engine
+
+(* One full audit pass over engine time, every server, and ownership
+   placement — runs between events (engine observer) and at the end of
+   every [run_until]. *)
+let audit_pass t a =
+  Invariant.check_cluster a ~now:(now t) ~next_event:(Engine.next_time t.engine)
+    ~servers:t.servers ~owner_of:t.owner_of
 
 let server t sid = t.servers.(sid)
 
@@ -623,8 +631,12 @@ let create ?(monitor = true) ~config ~tree () =
       next_fetch = 0;
       last_src = 0;
       epochs = Array.make config.Config.num_servers 0;
+      audit = (if Invariant.enabled config then Some (Invariant.create ()) else None);
     }
   in
+  (match t.audit with
+  | Some a -> Engine.set_observer t.engine ~every:config.Config.audit_every (fun () -> audit_pass t a)
+  | None -> ());
   (* Bootstrap ownership and per-node routing contexts. *)
   Array.iteri
     (fun node owner -> Server.add_owned servers.(owner) node ~owner_of:(fun v -> owner_of.(v)) ~now:0.0)
@@ -778,7 +790,19 @@ let inject_uniform_src ?on_complete t ~dst =
 
 let last_injected_src t = t.last_src
 
-let run_until t time = Engine.run ~until:time t.engine
+let run_until t time =
+  Engine.run ~until:time t.engine;
+  (* End-of-run audit: a final full pass, then deliver whatever this and
+     the cadence passes collected (raising under the test suite's default
+     mode, stashing a report under the CLI's --audit). *)
+  match t.audit with
+  | None -> ()
+  | Some a ->
+    audit_pass t a;
+    Invariant.deliver a
+      ~label:
+        (Printf.sprintf "audit of run to t=%.3f (%d servers, seed %d)" time
+           (Array.length t.servers) t.config.Config.seed)
 
 (* Same shape as the query timer: a fetch whose request or reply was
    silently lost is retried on timeout, failing over to untried holders
@@ -981,10 +1005,8 @@ let max_load t =
     0.0 t.servers
 
 let check_invariants t =
-  Array.iter Server.check_invariants t.servers;
-  Array.iteri
-    (fun node owner ->
-      match Server.find_hosted t.servers.(owner) node with
-      | Some h when h.Server.h_kind = Server.Owned -> ()
-      | _ -> failwith "Cluster: owner does not host its node")
-    t.owner_of
+  let a = Invariant.create () in
+  audit_pass t a;
+  match Invariant.violations a with
+  | [] -> ()
+  | v :: _ -> failwith ("Cluster: " ^ Invariant.describe v)

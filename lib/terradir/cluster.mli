@@ -88,6 +88,11 @@ type t = {
   mutable next_fetch : int;
   mutable last_src : server_id;
   epochs : int array;  (** bumped on kill/revive; cancels stale events *)
+  audit : Invariant.t option;
+      (** the runtime invariant auditor, when enabled ({!Invariant.enabled}
+          at construction): checks run every [config.audit_every] engine
+          events via the engine observer and at the end of every
+          {!run_until}, which also delivers the collected report *)
 }
 
 val create : ?monitor:bool -> config:Config.t -> tree:Terradir_namespace.Tree.t -> unit -> t
@@ -132,7 +137,9 @@ val last_injected_src : t -> server_id
     peer the lookup ran at). *)
 
 val run_until : t -> float -> unit
-(** Advance the simulation clock. *)
+(** Advance the simulation clock.  With auditing enabled, ends with a full
+    invariant pass and delivers collected violations —
+    @raise Invariant.Audit_failure in [`Raise] mode (the default). *)
 
 val handoff : t -> node:node_id -> to_:server_id -> unit
 (** Ownership transfer (membership-change extension; the paper assumes a
@@ -171,5 +178,5 @@ val mean_load : t -> float
 val max_load : t -> float
 
 val check_invariants : t -> unit
-(** Run {!Server.check_invariants} on every server plus cross-server checks
-    (owner placement consistency). *)
+(** One immediate {!Invariant.check_cluster} pass (independent of whether
+    auditing is enabled).  @raise Failure describing the first violation. *)

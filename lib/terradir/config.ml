@@ -37,6 +37,8 @@ type t = {
   data_service_mean : float;
   features : features;
   oracle_maps : bool;
+  audit : bool;
+  audit_every : int;
   seed : int;
 }
 
@@ -80,6 +82,8 @@ let default =
     data_service_mean = 0.040;
     features = bcr;
     oracle_maps = false;
+    audit = false;
+    audit_every = 10_000;
     seed = 42;
   }
 
@@ -113,7 +117,8 @@ let validate c =
   if c.bootstrap_peers < 0 then fail "bootstrap_peers must be non-negative";
   if c.max_remote_digests < 0 then fail "max_remote_digests must be non-negative";
   if c.data_copies < 1 then fail "data_copies must be >= 1";
-  if c.data_service_mean <= 0.0 then fail "data_service_mean must be positive"
+  if c.data_service_mean <= 0.0 then fail "data_service_mean must be positive";
+  if c.audit_every < 1 then fail "audit_every must be >= 1"
 
 let scaled c ~factor =
   if factor <= 0.0 then invalid_arg "Config.scaled: factor must be positive";

@@ -95,6 +95,13 @@ type t = {
   oracle_maps : bool;
       (** route with ground-truth host maps (§4.4's optimal-information
           reference); digest shortcuts are disabled under the oracle *)
+  audit : bool;
+      (** run the {!Invariant} auditor: protocol invariants are checked
+          every [audit_every] engine events and at the end of every
+          [Cluster.run_until]; violations collect into a report.  Also
+          switched on (for any config) by the TERRADIR_AUDIT environment
+          variable or the CLI's [--audit] flag *)
+  audit_every : int;  (** auditor cadence, in executed engine events *)
   seed : int;
 }
 

@@ -31,7 +31,7 @@ let order a b =
   | true, false -> 1
   | false, true -> -1
   | _ -> (
-    match compare (b.stamp : float) a.stamp with 0 -> compare a.server b.server | c -> c)
+    match Float.compare b.stamp a.stamp with 0 -> Int.compare a.server b.server | c -> c)
 
 (* Newest stamp wins; the owner flag is sticky (a server once seen as owner
    stays owner even if a later stale entry forgot the flag). *)

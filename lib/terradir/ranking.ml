@@ -11,6 +11,7 @@ let seed t node w = Hashtbl.replace t.weights node (Float.max 0.0 w)
 let decay t =
   let floor = 1.0 /. 64.0 in
   let dead = ref [] in
+  (* lint: ordered independent per-key halving; the final table is the same in any visit order *)
   Hashtbl.iter
     (fun node w ->
       let w' = w /. 2.0 in
@@ -21,7 +22,7 @@ let decay t =
 let remove t node = Hashtbl.remove t.weights node
 
 let compare_desc (n1, w1) (n2, w2) =
-  match compare (w2 : float) w1 with 0 -> compare (n1 : int) n2 | c -> c
+  match Float.compare w2 w1 with 0 -> Int.compare n1 n2 | c -> c
 
 let ranked_desc t ~among =
   List.sort compare_desc (List.map (fun n -> (n, weight t n)) among)

@@ -9,6 +9,7 @@ let effective_high_water (s : Server.t) ~now =
        last measurement.  Raw (not adjusted) own load: the threshold should
        track reality, not the post-shed hysteresis value. *)
     let sum = ref (Load_meter.raw_load s.load now) and n = ref 1 in
+    (* lint: ordered float addition over believed loads; commutative to well under the threshold's resolution *)
     Hashtbl.iter
       (fun _ load ->
         sum := !sum +. load;

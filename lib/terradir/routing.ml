@@ -15,6 +15,7 @@ type candidate = { c_node : node_id; c_dist : int; c_from_cache : bool }
    strictly closer to [dst], and all such neighbors are in the table. *)
 let candidates (s : Server.t) ~dst =
   let acc = ref [] in
+  (* lint: ordered every collected candidate goes through the total (dist, node) sort below *)
   Hashtbl.iter
     (fun node (r : Server.neighbor_ref) ->
       if not (Node_map.is_empty r.n_map) then
@@ -25,7 +26,7 @@ let candidates (s : Server.t) ~dst =
         acc := { c_node = node; c_dist = Tree.distance s.tree node dst; c_from_cache = true } :: !acc);
   List.sort
     (fun a b ->
-      match compare a.c_dist b.c_dist with 0 -> compare a.c_node b.c_node | c -> c)
+      match Int.compare a.c_dist b.c_dist with 0 -> Int.compare a.c_node b.c_node | c -> c)
     !acc
 
 (* Allocation-free fast path returning only the minimum candidate.
@@ -39,6 +40,7 @@ let candidates (s : Server.t) ~dst =
    scanning cost.  Cached nodes are scanned as themselves. *)
 let best_candidate (s : Server.t) ~dst =
   let best_hosted = ref (-1) and best_hosted_dist = ref max_int in
+  (* lint: ordered running minimum under the total (dist, node) order; any visit order yields it *)
   Hashtbl.iter
     (fun node (_ : Server.hosted) ->
       let d = Tree.distance s.tree node dst in

@@ -13,8 +13,8 @@
     plus the machinery of the protocol: load meter, demand ranking, node
     cache, digest store, peer-load table, message queues and the replication
     session.  Mutators keep the cross-structure invariants (neighbor-map
-    refcounts, replica budget, digest freshness) — {!check_invariants}
-    verifies them in tests.
+    refcounts, replica budget, digest freshness) — {!Invariant} audits them
+    at runtime and in tests.
 
     All event-driven behavior lives in {!Cluster}; this module never sends
     messages or schedules events. *)
@@ -167,6 +167,3 @@ val record_new_replica : t -> node_id -> server_id -> now:float -> unit
 val state_kinds : t -> (node_id * string) list
 (** Every node this server has state for, labeled Owned / Replicated /
     Neighboring / Cached (Table 1 introspection). *)
-
-val check_invariants : t -> unit
-(** @raise Failure on violated internal invariants. *)

@@ -1,8 +1,7 @@
 (** Shared protocol types: identifiers, queries, and messages.
 
-    Kept interface-free (the whole module is its own signature): these are
-    plain data shuttled between the routing, replication and cluster
-    layers. *)
+    Plain data shuttled between the routing, replication and cluster
+    layers; see the interface for the full documentation. *)
 
 type server_id = int
 

@@ -1,0 +1,96 @@
+(** Shared protocol types: identifiers, queries, and messages.
+
+    Plain data shuttled between the routing, replication and cluster
+    layers; the interface restates the implementation so every module in
+    the library carries one (warning 70 is enforced per directory). *)
+
+type server_id = int
+
+type node_id = int
+
+(** Terminal outcome of a lookup, delivered to the issuer's callback. *)
+type outcome =
+  | Resolved of {
+      latency : float;
+      hops : int;
+      map : Node_map.t;  (** the destination's map — the lookup result *)
+      meta_version : int;  (** meta-data version at the resolving host *)
+    }
+  | Dropped of drop_reason
+
+and drop_reason =
+  | Queue_full  (** §4.1: arrivals beyond the request queue bound *)
+  | Hop_budget  (** routing failed to converge (staleness/loops) *)
+  | Dead_end  (** no forwarding candidate (e.g. all known hosts dead) *)
+  | Server_dead  (** delivered to a failed server with no retry possible *)
+  | Timed_out
+      (** the per-request timer expired with no retransmissions left —
+          some message of every attempt was silently lost in the network *)
+
+(** In-flight lookup query state.  [target] is the node on whose behalf the
+    query was last forwarded — the receiving server is expected (but, with
+    soft state, not guaranteed) to host it. *)
+and query = {
+  qid : int;
+  src_server : server_id;
+  dst : node_id;
+  attempt : int;
+      (** which transmission of the request this is (0 = original); the
+          issuer discards outcomes of superseded attempts *)
+  born : float;  (** injection time of the {e original} attempt *)
+  mutable hops : int;  (** network hops taken so far *)
+  mutable target : node_id;
+  mutable path : (node_id * Node_map.t) list;
+      (** Path propagation (§2.4): the route so far as (node, map) pairs,
+          newest first, capped at [path_cap]. *)
+  mutable shortcut_hops : int;  (** hops chosen via a digest shortcut *)
+  mutable best_dist : int;
+      (** closest namespace distance to [dst] this query has ever reached;
+          digest shortcuts must beat it, which makes shortcut chains
+          strictly decreasing and immune to false-positive loops *)
+  mutable stale_forwards : int;
+      (** arrivals at a server that no longer hosted [target] — the routing
+          inaccuracy measure of §4.4 *)
+  mutable result_map : Node_map.t;  (** destination map captured at resolution *)
+  mutable result_meta : int;
+}
+(** The issuer's callback lives with the cluster's per-request state (keyed
+    by [qid]), not on the in-flight record: attempts are retransmitted and
+    raced, but the request completes exactly once. *)
+
+val path_cap : int
+(** Bound on propagated path length; real deployments cap piggyback size. *)
+
+(** State shipped when a node is replicated: exactly the "Replicated" row of
+    Table 1 — name (id), meta-data (version), map, and routing context. *)
+type replica_payload = {
+  rp_node : node_id;
+  rp_meta_version : int;
+  rp_map : Node_map.t;  (** map for the node itself, sender's view *)
+  rp_context : (node_id * Node_map.t) list;  (** maps for each tree neighbor *)
+  rp_weight_hint : float;  (** sender's demand weight, seeds receiver ranking *)
+}
+
+type payload =
+  | Query of query
+  | Query_reply of query  (** resolution notice, sent straight back to src *)
+  | Load_probe of { session : int }
+  | Load_reply of { session : int; load : float }
+  | Replicate of { session : int; replicas : replica_payload list }
+  | Data_request of { fetch_id : int; node : node_id; client : server_id }
+      (** step two of the lookup-then-retrieve protocol (§2.1): fetch the
+          node's data from one of its data holders *)
+  | Data_reply of { fetch_id : int; node : node_id }
+
+(** Every message piggybacks the sender's load and digest version; the full
+    digest rides along when the sender believes the receiver's copy is
+    stale (§6: in-band dissemination only). *)
+type message = {
+  msg_from : server_id;
+  msg_load : float;
+  msg_digest_version : int;
+  msg_digest : Terradir_bloom.Bloom.t option;
+  msg_payload : payload;
+}
+
+val is_query_class : payload -> bool

@@ -87,7 +87,7 @@ module Reservoir = struct
     if r.filled = 0 then invalid_arg "Reservoir.percentile: empty";
     if p < 0.0 || p > 1.0 then invalid_arg "Reservoir.percentile: p out of range";
     let sorted = Array.sub r.sample 0 r.filled in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let pos = p *. float_of_int (r.filled - 1) in
     let lo = max 0 (min (int_of_float pos) (r.filled - 1)) in
     let hi = min (lo + 1) (r.filled - 1) in

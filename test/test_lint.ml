@@ -1,0 +1,85 @@
+(* Unit tests for the determinism lint: each rule fires on a minimal
+   offending snippet, clean idioms stay silent, and the suppression
+   machinery (inline annotations, justifications, staleness) behaves. *)
+
+module Lint = Terradir_lint.Lint
+
+let rules source =
+  Lint.lint_source ~path:"snippet.ml" ~source
+  |> List.map (fun f -> f.Lint.rule)
+  |> List.sort String.compare
+
+let check name expected source = Alcotest.(check (list string)) name expected (rules source)
+
+let test_hashtbl_order () =
+  check "bare iter flagged" [ "hashtbl-order" ] "let f h = Hashtbl.iter (fun _ _ -> ()) h";
+  check "bare fold flagged" [ "hashtbl-order" ] "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []";
+  check "to_seq flagged" [ "hashtbl-order" ] "let f h = Hashtbl.to_seq_keys h";
+  check "sorted fold clean" []
+    "let f h = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])";
+  check "piped into sort clean" []
+    "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int.compare";
+  check "sort applied with @@ clean" []
+    "let f h = List.sort Int.compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) h []"
+
+let test_wall_clock () =
+  check "Sys.time flagged" [ "wall-clock" ] "let t () = Sys.time ()";
+  check "gettimeofday flagged" [ "wall-clock" ] "let t () = Unix.gettimeofday ()"
+
+let test_global_rng () =
+  check "Random.int flagged" [ "global-rng" ] "let r () = Random.int 10";
+  check "Random.State flagged" [ "global-rng" ] "let r s = Random.State.int s 10";
+  Alcotest.(check (list string))
+    "splitmix.ml exempt" []
+    (Lint.lint_source ~path:"lib/util/splitmix.ml" ~source:"let r () = Random.int 10"
+    |> List.map (fun f -> f.Lint.rule))
+
+let test_poly_compare () =
+  check "bare compare flagged" [ "poly-compare" ] "let f xs = List.sort compare xs";
+  check "Stdlib.compare flagged" [ "poly-compare" ] "let c a b = Stdlib.compare a b";
+  check "equality on lambda flagged" [ "poly-compare" ] "let b f = f = fun x -> x + 1";
+  check "Int.compare clean" [] "let f xs = List.sort Int.compare xs"
+
+let test_marshal () =
+  check "Marshal flagged" [ "marshal" ] "let s x = Marshal.to_string x []"
+
+let test_annotations () =
+  check "justified annotation suppresses" []
+    "(* lint: ordered commutative sum *)\nlet f h = Hashtbl.fold (fun _ v acc -> acc + v) h 0";
+  check "same-line annotation suppresses" []
+    "let f h = Hashtbl.fold (fun _ v acc -> acc + v) h 0 (* lint: hashtbl-order commutative sum *)";
+  check "unjustified annotation: finding survives plus bad-annotation"
+    [ "bad-annotation"; "hashtbl-order" ]
+    "(* lint: ordered *)\nlet f h = Hashtbl.fold (fun _ v acc -> acc + v) h 0";
+  check "stale annotation flagged" [ "unused-suppression" ]
+    "(* lint: ordered nothing here needs it *)\nlet f x = x + 1";
+  check "annotation scoped to its own rule"
+    [ "unused-suppression"; "wall-clock" ]
+    "(* lint: ordered wrong rule *)\nlet t () = Sys.time ()"
+
+let test_parse_error () =
+  check "unparsable input reported" [ "parse-error" ] "let let let"
+
+let test_finding_positions () =
+  match Lint.lint_source ~path:"pos.ml" ~source:"\nlet t () = Sys.time ()" with
+  | [ f ] ->
+    Alcotest.(check string) "file" "pos.ml" f.Lint.file;
+    Alcotest.(check int) "line" 2 f.Lint.line;
+    Alcotest.(check bool) "column set" true (f.Lint.col > 0)
+  | fs -> Alcotest.fail (Printf.sprintf "expected one finding, got %d" (List.length fs))
+
+let () =
+  Alcotest.run "terradir_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "hashtbl order" `Quick test_hashtbl_order;
+          Alcotest.test_case "wall clock" `Quick test_wall_clock;
+          Alcotest.test_case "global rng" `Quick test_global_rng;
+          Alcotest.test_case "poly compare" `Quick test_poly_compare;
+          Alcotest.test_case "marshal" `Quick test_marshal;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "positions" `Quick test_finding_positions;
+        ] );
+      ("suppressions", [ Alcotest.test_case "annotations" `Quick test_annotations ]);
+    ]

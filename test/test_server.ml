@@ -52,7 +52,7 @@ let test_add_owned () =
   (match Server.find_hosted s 1 with
   | Some h -> Alcotest.(check (option int)) "owner is self" (Some 0) (Node_map.owner h.Server.h_map)
   | None -> Alcotest.fail "hosted");
-  Server.check_invariants s;
+  Invariant.assert_server s ~now:0.0;
   Alcotest.check_raises "double add" (Invalid_argument "Server.add_owned: already hosted")
     (fun () -> Server.add_owned s 1 ~owner_of ~now:0.0)
 
@@ -81,7 +81,7 @@ let test_install_replica () =
   Alcotest.(check (float 1e-9)) "ranking seeded" 2.0 (Ranking.weight s.Server.ranking 20);
   Alcotest.(check bool) "digest updated" true
     (Terradir_bloom.Bloom.mem (Digest_store.local s.Server.digests) 20);
-  Server.check_invariants s
+  Invariant.assert_server s ~now:1.0
 
 let test_install_replica_merge () =
   let s = owned_server [ 1 ] in
@@ -111,7 +111,7 @@ let test_replica_budget_eviction () =
   Alcotest.(check bool) "lowest-ranked evicted" false (Server.hosts s 20);
   Alcotest.(check bool) "hot replica kept" true (Server.hosts s 21);
   Alcotest.(check int) "eviction counted" 1 s.Server.replicas_evicted;
-  Server.check_invariants s
+  Invariant.assert_server s ~now:2.0
 
 let test_displacement_needs_dominance () =
   let s = owned_server [ 1 ] in
@@ -129,7 +129,7 @@ let test_displacement_needs_dominance () =
   | `Installed -> ()
   | `Merged | `Rejected -> Alcotest.fail "dominated victim must be displaced");
   Alcotest.(check bool) "cold victim gone" false (Server.hosts s 20);
-  Server.check_invariants s
+  Invariant.assert_server s ~now:3.0
 
 let test_install_rejected_when_no_budget () =
   let cfg = { config with Config.r_fact = 0.0 } in
@@ -143,10 +143,10 @@ let test_evict_replica_refcounts () =
   (* node 5's neighbors: 2 (parent), 11, 12. Install replica of 2 — shares
      neighbor 5... (2's neighbors are 0, 5, 6). *)
   ignore (Server.install_replica s (payload_for 2) ~now:1.0);
-  Server.check_invariants s;
+  Invariant.assert_server s ~now:1.0;
   Server.evict_replica s 2;
   Alcotest.(check bool) "gone" false (Server.hosts s 2);
-  Server.check_invariants s;
+  Invariant.assert_server s ~now:1.0;
   (* original owned context intact *)
   List.iter
     (fun nb ->
@@ -169,7 +169,7 @@ let test_idle_scan () =
   (* idle timeout set to 60 s: replica 20 unused since 0.0 goes, 21 stays. *)
   Alcotest.(check (list int)) "idle replica evicted" [ 20 ] evicted;
   Alcotest.(check bool) "active replica kept" true (Server.hosts s 21);
-  Server.check_invariants s;
+  Invariant.assert_server s ~now:70.0;
   (* nothing else is stale yet under the same timeout *)
   Alcotest.(check (list int)) "second scan idle" [] (Server.idle_scan s ~now:80.0)
 
@@ -302,7 +302,7 @@ let prop_random_ops_keep_invariants =
           | 1 -> if List.mem node (Server.replica_nodes s) then Server.evict_replica s node
           | _ -> if Server.hosts s node then Server.touch_node s node ~now:!now)
         ops;
-      Server.check_invariants s;
+      Invariant.assert_server s ~now:!now;
       true)
 
 let () =

@@ -1,0 +1,356 @@
+(* Determinism lint over OCaml parsetrees (compiler-libs).
+
+   Walks every .ml file it is pointed at with an [Ast_iterator] and flags
+   constructs that can leak nondeterminism — or order-dependence on
+   implementation details — into simulation results:
+
+     hashtbl-order   Hashtbl.iter / Hashtbl.fold / Hashtbl.to_seq* whose
+                     result does not flow through an explicit sort.  OCaml
+                     hash tables are deterministic for a fixed insertion
+                     history, but bucket order is an implementation detail:
+                     it shifts under resize thresholds, key-hash changes and
+                     stdlib upgrades, so depending on it is a hazard.
+     wall-clock      Sys.time / Unix.gettimeofday and friends: real time
+                     must never reach simulation state (bench code that
+                     times the host is allowlisted).
+     global-rng      Random.* — all randomness must come from the seeded,
+                     splittable Terradir_util.Splitmix streams.
+     poly-compare    bare polymorphic [compare] (and (=)/(<>) applied to a
+                     lambda): breaks on function-bearing types, gives
+                     surprising NaN behavior on floats, and silently picks
+                     structural order where a domain order was meant.
+     marshal         Marshal.* — output is not stable across compiler
+                     versions and happily serializes closures.
+
+   Suppression, per-site, with a recorded justification:
+
+     - an inline annotation on the flagged line or the line above:
+         (* lint: <rule> <justification> *)
+       ("ordered" is accepted as an alias for hashtbl-order);
+     - an allowlist file with "path rule justification" lines, matching
+       any scanned file whose path ends with [path].
+
+   An annotation without a justification is itself an error
+   (bad-annotation), and so is a suppression that no finding uses
+   (unused-suppression) — stale justifications must not accumulate. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let rule_hashtbl = "hashtbl-order"
+let rule_wall_clock = "wall-clock"
+let rule_global_rng = "global-rng"
+let rule_poly_compare = "poly-compare"
+let rule_marshal = "marshal"
+let rule_bad_annotation = "bad-annotation"
+let rule_unused_suppression = "unused-suppression"
+let rule_parse_error = "parse-error"
+
+let all_rules =
+  [ rule_hashtbl; rule_wall_clock; rule_global_rng; rule_poly_compare; rule_marshal ]
+
+module SSet = Set.Make (String)
+
+(* Iteration primitives whose visit order is the bucket order. *)
+let hashtbl_unordered =
+  SSet.of_list [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+(* Applying any of these to an unordered iteration's result launders it. *)
+let sort_functions =
+  SSet.of_list
+    [
+      "List.sort"; "List.sort_uniq"; "List.stable_sort"; "List.fast_sort";
+      "Array.sort"; "Array.stable_sort"; "Array.fast_sort";
+    ]
+
+let wall_clock_functions =
+  SSet.of_list
+    [
+      "Sys.time"; "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime"; "Unix.localtime";
+      "Unix.mktime";
+    ]
+
+let ident_name lid =
+  match Longident.flatten lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+(* ---- inline annotations ---- *)
+
+type suppression = {
+  s_rule : string;
+  s_line : int;  (** line the annotation sits on *)
+  s_ok : bool;  (** has a non-empty justification *)
+  mutable s_used : bool;
+}
+
+let annotation_marker = "(* lint:"
+
+let find_substring line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub line i m = sub then Some i else go (i + 1) in
+  go 0
+
+(* Parse "(* lint: <rule> <justification> *)" out of one source line. *)
+let suppression_of_line lineno line =
+  match find_substring line annotation_marker with
+  | None -> None
+  | Some i ->
+    let rest = String.sub line (i + String.length annotation_marker)
+                 (String.length line - i - String.length annotation_marker) in
+    let rest = match find_substring rest "*)" with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    let rest = String.trim rest in
+    let rule, justification =
+      match String.index_opt rest ' ' with
+      | None -> (rest, "")
+      | Some sp -> (String.sub rest 0 sp, String.trim (String.sub rest sp (String.length rest - sp)))
+    in
+    let rule = if rule = "ordered" then rule_hashtbl else rule in
+    Some { s_rule = rule; s_line = lineno; s_ok = justification <> ""; s_used = false }
+
+let scan_annotations source =
+  String.split_on_char '\n' source
+  |> List.mapi (fun i line -> suppression_of_line (i + 1) line)
+  |> List.filter_map Fun.id
+
+(* ---- allowlist ---- *)
+
+type allow_entry = {
+  a_path : string;
+  a_rule : string;
+  a_line : int;
+  mutable a_used : bool;
+}
+
+let parse_allowlist path =
+  if not (Sys.file_exists path) then []
+  else
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter_map (fun (lineno, line) ->
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.split_on_char ' ' line with
+             | file :: rule :: (_ :: _ as justification)
+               when String.trim (String.concat " " justification) <> "" ->
+               Some { a_path = file; a_rule = rule; a_line = lineno; a_used = false }
+             | _ ->
+               (* malformed line: surface as a finding via a poisoned entry *)
+               Some { a_path = "\x00malformed"; a_rule = line; a_line = lineno; a_used = false })
+
+let path_matches ~scanned ~allow =
+  scanned = allow
+  || (let ls = String.length scanned and la = String.length allow in
+      ls > la && String.sub scanned (ls - la) la = allow
+      && scanned.[ls - la - 1] = '/')
+
+(* ---- the AST walk ---- *)
+
+let lint_source ~path ~source =
+  let findings = ref [] in
+  let add loc rule msg =
+    let p = loc.Location.loc_start in
+    findings := { file = path; line = p.Lexing.pos_lnum;
+                  col = p.Lexing.pos_cnum - p.Lexing.pos_bol; rule; msg } :: !findings
+  in
+  let exempt_rng = Filename.basename path = "splitmix.ml" in
+  (* > 0 while visiting the arguments of a sort application: an unordered
+     hashtable iteration there is explicitly laundered. *)
+  let in_sorted = ref 0 in
+  let is_lambda (e : Parsetree.expression) =
+    match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
+  in
+  let rec head_is_sort (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> SSet.mem (ident_name txt) sort_functions
+    | Pexp_apply (f, _) -> head_is_sort f
+    | _ -> false
+  in
+  let check_ident loc lid =
+    let name = ident_name lid in
+    (match lid with
+     | Longident.Ldot (Lident "Hashtbl", fn) when SSet.mem fn hashtbl_unordered ->
+       if !in_sorted = 0 then
+         add loc rule_hashtbl
+           (Printf.sprintf
+              "Hashtbl.%s visits bucket order; sort the result or annotate why order cannot matter"
+              fn)
+     | _ -> ());
+    if SSet.mem name wall_clock_functions then
+      add loc rule_wall_clock (name ^ " reads the wall clock; simulation state must only see Engine.now");
+    if (not exempt_rng)
+       && (match lid with
+           | Longident.Ldot (Lident "Random", _) -> true
+           | Longident.Ldot (Ldot (Lident "Random", _), _) -> true
+           | _ -> false)
+    then add loc rule_global_rng (name ^ " uses the global RNG; draw from a Terradir_util.Splitmix stream");
+    (match name with
+     | "compare" | "Stdlib.compare" | "Pervasives.compare" ->
+       add loc rule_poly_compare
+         "polymorphic compare; use the element type's comparator (Int.compare, Float.compare, ...)"
+     | _ -> ());
+    (match lid with
+     | Longident.Ldot (Lident "Marshal", fn) ->
+       add loc rule_marshal ("Marshal." ^ fn ^ " is unstable across compiler versions; use an explicit codec")
+     | _ -> ())
+  in
+  let iterator =
+    let default = Ast_iterator.default_iterator in
+    let expr it (e : Parsetree.expression) =
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        check_ident loc txt;
+        default.expr it e
+      | Pexp_apply (f, args) when head_is_sort f ->
+        (* sort application: its arguments — including a nested unordered
+           iteration producing the sort's input — are in sorted context *)
+        it.expr it f;
+        incr in_sorted;
+        List.iter (fun (_, a) -> it.expr it a) args;
+        decr in_sorted
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "|>"; _ }; _ }, [ (_, lhs); (_, rhs) ])
+        when head_is_sort rhs ->
+        it.expr it rhs;
+        incr in_sorted;
+        it.expr it lhs;
+        decr in_sorted
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "@@"; _ }; _ }, [ (_, lhs); (_, rhs) ])
+        when head_is_sort lhs ->
+        it.expr it lhs;
+        incr in_sorted;
+        it.expr it rhs;
+        decr in_sorted
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); loc }; _ }, args)
+        when List.exists (fun (_, a) -> is_lambda a) args ->
+        add loc rule_poly_compare
+          (Printf.sprintf "(%s) applied to a function value always raises; compare explicitly" op);
+        default.expr it e
+      | _ -> default.expr it e
+    in
+    { default with expr }
+  in
+  (try
+     let lexbuf = Lexing.from_string source in
+     Location.init lexbuf path;
+     let ast = Parse.implementation lexbuf in
+     iterator.structure iterator ast
+   with exn ->
+     let line, col =
+       match exn with
+       | Syntaxerr.Error e ->
+         let p = (Syntaxerr.location_of_error e).Location.loc_start in
+         (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+       | _ -> (1, 0)
+     in
+     findings := { file = path; line; col; rule = rule_parse_error;
+                   msg = "file does not parse as an OCaml implementation" } :: !findings);
+  (* Apply inline suppressions: an annotation covers findings of its rule on
+     its own line or the line directly below it. *)
+  let suppressions = scan_annotations source in
+  let surviving =
+    List.filter
+      (fun f ->
+        match
+          List.find_opt
+            (fun s -> s.s_rule = f.rule && (s.s_line = f.line || s.s_line = f.line - 1))
+            suppressions
+        with
+        | Some s when s.s_ok ->
+          s.s_used <- true;
+          false
+        | Some s ->
+          (* covers the finding only once justified; keep both errors *)
+          s.s_used <- true;
+          true
+        | None -> true)
+      !findings
+  in
+  let annotation_errors =
+    List.concat_map
+      (fun s ->
+        let bad =
+          if s.s_ok then []
+          else
+            [ { file = path; line = s.s_line; col = 0; rule = rule_bad_annotation;
+                msg = "lint annotation needs a justification: (* lint: " ^ s.s_rule ^ " <why> *)" } ]
+        in
+        let stale =
+          if s.s_used then []
+          else
+            [ { file = path; line = s.s_line; col = 0; rule = rule_unused_suppression;
+                msg = "annotation suppresses no " ^ s.s_rule ^ " finding on this or the next line" } ]
+        in
+        bad @ stale)
+      suppressions
+  in
+  surviving @ annotation_errors
+
+let lint_file path =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  lint_source ~path ~source
+
+(* ---- driving ---- *)
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let run ~allowlist ~paths =
+  let allow = match allowlist with None -> [] | Some f -> parse_allowlist f in
+  let files = List.concat_map ml_files_under paths in
+  let raw = List.concat_map lint_file files in
+  let findings =
+    List.filter
+      (fun f ->
+        match
+          List.find_opt
+            (fun a -> a.a_rule = f.rule && path_matches ~scanned:f.file ~allow:a.a_path)
+            allow
+        with
+        | Some a ->
+          a.a_used <- true;
+          false
+        | None -> true)
+      raw
+  in
+  let allowlist_errors =
+    match allowlist with
+    | None -> []
+    | Some alf ->
+      List.concat_map
+        (fun a ->
+          if a.a_path = "\x00malformed" then
+            [ { file = alf; line = a.a_line; col = 0; rule = rule_bad_annotation;
+                msg = "malformed allowlist line (want: <path> <rule> <justification>)" } ]
+          else if not a.a_used then
+            [ { file = alf; line = a.a_line; col = 0; rule = rule_unused_suppression;
+                msg = Printf.sprintf "allowlist entry %s %s matches no finding" a.a_path a.a_rule } ]
+          else [])
+        allow
+  in
+  List.sort compare_findings (findings @ allowlist_errors)
+
+let pp_finding oc f =
+  Printf.fprintf oc "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule f.msg

@@ -1,0 +1,48 @@
+(* CLI for the determinism lint.
+
+   Usage: lint_main [--allowlist FILE] PATH...
+
+   Every PATH is a .ml file or a directory walked recursively.  Findings go
+   to stdout, one per line, machine-readable:
+
+     file:line:col: [rule-id] message
+
+   Exit status: 0 clean, 1 findings, 2 usage error. *)
+
+module Lint = Terradir_lint.Lint
+
+let () =
+  let allowlist = ref None and paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allowlist" :: file :: rest ->
+      allowlist := Some file;
+      parse rest
+    | "--allowlist" :: [] ->
+      prerr_endline "lint: --allowlist needs a file argument";
+      exit 2
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "lint: unknown option %s\nusage: lint_main [--allowlist FILE] PATH...\n" arg;
+      exit 2
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then begin
+    prerr_endline "usage: lint_main [--allowlist FILE] PATH...";
+    exit 2
+  end;
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "lint: no such path %s\n" p;
+        exit 2
+      end)
+    !paths;
+  let findings = Lint.run ~allowlist:!allowlist ~paths:(List.rev !paths) in
+  List.iter (Lint.pp_finding stdout) findings;
+  if findings <> [] then begin
+    Printf.eprintf "lint: %d finding(s)\n" (List.length findings);
+    exit 1
+  end
