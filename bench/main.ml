@@ -54,6 +54,22 @@ let durations =
 
 type figure_report = { id : string; wall_s : float; events : int }
 
+(* One representative full-system run whose latency/hop distributions go
+   into the report (schema v2 "histograms"): fig3's uniform stream,
+   compressed.  The histograms come from [Metrics] itself (log-bucketed,
+   RNG-free) so no observability level needs to be on. *)
+let histogram_summaries () =
+  let setup = E.Common.make ~scale ~seed E.Common.NS in
+  let phases =
+    E.Common.unif_stream setup ~paper_rate:E.Common.paper_lambda_fig3 ~duration:30.0
+  in
+  let cluster = E.Runner.run_phases setup phases in
+  let m = cluster.Terradir.Cluster.metrics in
+  [
+    ("latency_s", Terradir_obs.Hist.summary_fields m.Terradir.Metrics.latency_hist);
+    ("hops", Terradir_obs.Hist.summary_fields m.Terradir.Metrics.hops_hist);
+  ]
+
 (* Hand-written JSON (the image carries no JSON library); every string we
    emit is a known identifier, so escaping only needs the basics. *)
 let json_string s =
@@ -74,7 +90,7 @@ let json_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.6g" f
 
-let write_report ~jobs ~total_wall ~micro ~figures =
+let write_report ~jobs ~total_wall ~micro ~figures ~histograms =
   let micro_json =
     micro
     |> List.map (fun (name, ns) ->
@@ -93,18 +109,29 @@ let write_report ~jobs ~total_wall ~micro ~figures =
              (json_string f.id) (json_float f.wall_s) f.events (json_float events_per_sec))
     |> String.concat ",\n"
   in
+  let histograms_json =
+    histograms
+    |> List.map (fun (name, fields) ->
+           Printf.sprintf "    { \"name\": %s, %s }" (json_string name)
+             (String.concat ", "
+                (List.map
+                   (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (json_float v))
+                   fields)))
+    |> String.concat ",\n"
+  in
   let oc = open_out out_file in
   Printf.fprintf oc
     "{\n\
-    \  \"schema_version\": 1,\n\
+    \  \"schema_version\": 2,\n\
     \  \"scale\": %s,\n\
     \  \"seed\": %d,\n\
     \  \"jobs\": %d,\n\
     \  \"total_wall_s\": %s,\n\
     \  \"micro_ns_per_run\": [\n%s\n  ],\n\
+    \  \"histograms\": [\n%s\n  ],\n\
     \  \"figures\": [\n%s\n  ]\n\
      }\n"
-    (json_float scale) seed jobs (json_float total_wall) micro_json figures_json;
+    (json_float scale) seed jobs (json_float total_wall) micro_json histograms_json figures_json;
   close_out oc;
   Printf.printf "Report written to %s\n" out_file
 
@@ -115,6 +142,13 @@ let () =
     "TerraDir soft-state replication benchmark suite (scale=%.4f, seed=%d, jobs=%d)\n\n%!"
     scale seed jobs;
   let micro = Micro.run () in
+  print_endline "\n== representative run (latency/hop histograms) ==";
+  let histograms = histogram_summaries () in
+  List.iter
+    (fun (name, fields) ->
+      Printf.printf "  %-10s %s\n%!" name
+        (String.concat "  " (List.map (fun (k, v) -> Printf.sprintf "%s=%.4g" k v) fields)))
+    histograms;
   let figures =
     List.map
       (fun entry ->
@@ -132,4 +166,4 @@ let () =
   in
   let total_wall = Unix.gettimeofday () -. t0 in
   Printf.printf "\nTotal wall time: %.1fs\n" total_wall;
-  write_report ~jobs ~total_wall ~micro ~figures
+  write_report ~jobs ~total_wall ~micro ~figures ~histograms

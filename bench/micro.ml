@@ -101,7 +101,7 @@ let bench_bloom_mem =
 
 let bench_cache_insert =
   let rng = Splitmix.create 4 in
-  let cache = Cache.create ~slots:24 ~r_map:4 ~rng in
+  let cache = Cache.create ~slots:24 ~r_map:4 ~rng () in
   let map = Node_map.singleton ~server:3 ~stamp:1.0 () in
   let node = ref 0 in
   Test.make ~name:"cache_insert" (Staged.stage (fun () ->
@@ -140,6 +140,40 @@ let bench_splitmix_exp =
   let g = Splitmix.create 8 in
   Test.make ~name:"splitmix_exponential" (Staged.stage (fun () -> ignore (Splitmix.exponential g 0.02)))
 
+(* The hook pattern every protocol layer compiles to, against the shared
+   null sink: one boolean load, one untaken branch, no allocation.  This
+   is the number behind the "< 2% with obs compiled in but disabled"
+   budget. *)
+let bench_obs_record_disabled =
+  let obs = Terradir_obs.Obs.null in
+  let i = ref 0 in
+  Test.make ~name:"obs_record_disabled"
+    (Staged.stage (fun () ->
+         incr i;
+         if Terradir_obs.Obs.spans_on obs then
+           (* lint: obs-in-hot-path this is the benchmark of the hook itself *)
+           Terradir_obs.Obs.record obs ~server:0
+             (Terradir_obs.Event.Queue_enter { qid = !i; attempt = 0 })))
+
+let bench_obs_record_enabled =
+  let obs = Terradir_obs.Obs.create ~capacity:(1 lsl 12) ~level:Terradir_obs.Obs.Spans () in
+  let i = ref 0 in
+  Test.make ~name:"obs_record_enabled"
+    (Staged.stage (fun () ->
+         incr i;
+         (* lint: obs-in-hot-path this is the benchmark of the hook itself *)
+         Terradir_obs.Obs.record obs ~server:0
+           (Terradir_obs.Event.Queue_enter { qid = !i; attempt = 0 })))
+
+let bench_hist_add =
+  let h = Terradir_obs.Hist.create () in
+  let x = ref 1e-6 in
+  Test.make ~name:"hist_add"
+    (Staged.stage (fun () ->
+         x := !x *. 1.001;
+         if !x > 1e6 then x := 1e-6;
+         Terradir_obs.Hist.add h !x))
+
 let all =
   [
     bench_routing_decide;
@@ -152,6 +186,9 @@ let all =
     bench_engine_event;
     bench_load_meter;
     bench_splitmix_exp;
+    bench_obs_record_disabled;
+    bench_obs_record_enabled;
+    bench_hist_add;
   ]
 
 (* Runs every micro-benchmark, prints the table, and returns

@@ -11,6 +11,8 @@ open Terradir
 open Terradir_util
 open Terradir_workload
 module Experiments = Terradir_experiments
+module Obs = Terradir_obs.Obs
+module Obs_export = Terradir_obs.Export
 
 let scale_arg =
   let doc =
@@ -143,8 +145,49 @@ let custom_cmd =
     let doc = "Feature set: B (base), BC (caching), BCR (full)." in
     Arg.(value & opt string "BCR" & info [ "system" ] ~docv:"SYS" ~doc)
   in
-  let run servers namespace rate duration alpha shifts system seed audit =
+  let obs_level =
+    let doc = "Observability level: off, counters, spans or full (see DESIGN §11)." in
+    Arg.(value & opt string "off" & info [ "obs-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let probe_every =
+    let doc = "Per-server probe cadence, in executed engine events." in
+    Arg.(value & opt int 2000 & info [ "probe-every" ] ~docv:"N" ~doc)
+  in
+  let trace =
+    let doc =
+      "Write a Chrome trace-event JSON file to $(docv) (open in Perfetto or \
+       chrome://tracing).  Implies at least --obs-level spans."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let events_csv =
+    let doc = "Write the raw flight-recorder event log as CSV to $(docv).  Implies at least --obs-level counters." in
+    Arg.(value & opt (some string) None & info [ "events-csv" ] ~docv:"FILE" ~doc)
+  in
+  let probes_csv =
+    let doc = "Write the per-server probe time series as CSV to $(docv).  Implies at least --obs-level counters." in
+    Arg.(value & opt (some string) None & info [ "probes-csv" ] ~docv:"FILE" ~doc)
+  in
+  let run servers namespace rate duration alpha shifts system seed audit obs_level probe_every
+      trace events_csv probes_csv =
     apply_audit audit;
+    let obs =
+      let requested =
+        match Obs.level_of_string obs_level with
+        | Some l -> l
+        | None -> failwith "obs-level must be off, counters, spans or full"
+      in
+      let rank = function Obs.Off -> 0 | Obs.Counters -> 1 | Obs.Spans -> 2 | Obs.Full -> 3 in
+      (* Exporters need data: a trace needs spans, the CSVs need counters.
+         Asking for a file quietly raises the level to what it requires. *)
+      let need =
+        if trace <> None then Obs.Spans
+        else if events_csv <> None || probes_csv <> None then Obs.Counters
+        else Obs.Off
+      in
+      let level = if rank requested >= rank need then requested else need in
+      if level = Obs.Off then Obs.null else Obs.create ~probe_every ~level ()
+    in
     let tree =
       match String.split_on_char ':' namespace with
       | [ "balanced"; levels ] -> Terradir_namespace.Build.balanced ~arity:2 ~levels:(int_of_string levels)
@@ -160,7 +203,7 @@ let custom_cmd =
       | _ -> failwith "system must be B, BC, BCR or BCR-nodigest"
     in
     let config = { Config.default with Config.num_servers = servers; features; seed } in
-    let cluster = Cluster.create ~config ~tree () in
+    let cluster = Cluster.create ~obs ~config ~tree () in
     let phases =
       match alpha with
       | None -> Stream.unif ~rate ~duration
@@ -178,13 +221,25 @@ let custom_cmd =
       (List.map (fun (k, v) -> [ k; v ]) (Metrics.summary_rows cluster.Cluster.metrics));
     Printf.printf "engine events executed: %d\n"
       (Terradir_sim.Engine.events_executed cluster.Cluster.engine);
+    if Obs.counters_on obs then begin
+      print_newline ();
+      Tablefmt.print ~header:[ "observability"; "value" ]
+        (List.map (fun (k, v) -> [ k; v ]) (Obs_export.summary_rows obs))
+    end;
+    let write file content =
+      Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc content);
+      Printf.printf "wrote %s\n" file
+    in
+    Option.iter (fun file -> write file (Obs_export.chrome_trace (Obs.recorder obs))) trace;
+    Option.iter (fun file -> write file (Obs_export.events_csv (Obs.recorder obs))) events_csv;
+    Option.iter (fun file -> write file (Obs_export.probes_csv (Obs.probes obs))) probes_csv;
     report_audit audit
   in
   Cmd.v
     (Cmd.info "custom" ~doc:"Run a custom simulation")
     Term.(
       const run $ servers $ namespace $ rate $ duration $ alpha $ shifts $ system $ seed_arg
-      $ audit_arg)
+      $ audit_arg $ obs_level $ probe_every $ trace $ events_csv $ probes_csv)
 
 (* ---- trace ---- *)
 

@@ -88,7 +88,7 @@ let make ?(scale = 1.0 /. 16.0) ?(features = Config.bcr) ?(seed = 42)
   in
   { config; tree; rate; scale }
 
-let cluster setup = Cluster.create ~config:setup.config ~tree:setup.tree ()
+let cluster ?obs setup = Cluster.create ?obs ~config:setup.config ~tree:setup.tree ()
 
 let warmup_for alpha = 40.0 +. (Float.max 0.0 (alpha -. 0.75) /. 0.25 *. 10.0)
 

@@ -49,7 +49,9 @@ val make :
     (after sizing), for per-experiment knob changes.
     @raise Invalid_argument if [scale] is outside (0, 1]. *)
 
-val cluster : setup -> Terradir.Cluster.t
+val cluster : ?obs:Terradir_obs.Obs.t -> setup -> Terradir.Cluster.t
+(** Fresh cluster for the setup; [obs] (default the null sink) is passed
+    straight to {!Terradir.Cluster.create}. *)
 
 val warmup_for : float -> float
 (** Staggered uniform warmup before a Zipf stream, per order (§4.2: the

@@ -20,9 +20,23 @@ let series_csv ~index_label columns =
 
 let table_csv ~header rows = Tablefmt.csv ~header rows
 
+(* Machine-readable counter snapshot, driven by the same field-spec list
+   as the struct itself ([Metrics.counter_fields]) so a counter added to
+   [Metrics.t] cannot silently miss the export; histogram-derived latency
+   and hop statistics ride along under stable prefixed names. *)
 let metrics_csv metrics =
+  let module M = Terradir.Metrics in
+  let module Hist = Terradir_obs.Hist in
+  let counter_rows =
+    List.map (fun (name, get) -> [ name; string_of_int (get metrics) ]) M.counter_fields
+  in
+  let hist_rows prefix h =
+    List.map (fun (k, v) -> [ prefix ^ "_" ^ k; Printf.sprintf "%.6f" v ]) (Hist.summary_fields h)
+  in
   table_csv ~header:[ "metric"; "value" ]
-    (List.map (fun (k, v) -> [ k; v ]) (Terradir.Metrics.summary_rows metrics))
+    (counter_rows
+    @ hist_rows "latency" metrics.M.latency_hist
+    @ hist_rows "hops" metrics.M.hops_hist)
 
 let f = Printf.sprintf
 

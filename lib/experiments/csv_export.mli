@@ -18,6 +18,9 @@ val series_csv : index_label:string -> (string * float array) list -> string
     byte-compare figure output against committed goldens). *)
 
 val metrics_csv : Terradir.Metrics.t -> string
-(** One metric/value row per {!Terradir.Metrics.summary_rows} entry —
-    the whole-run counter snapshot (including the network-fault block when
-    any fault fired), CSV-encoded for ad-hoc runs and examples. *)
+(** Machine-readable metric/value rows: one row per
+    {!Terradir.Metrics.counter_fields} entry (every cumulative counter,
+    unconditionally, under its stable CSV name), then the
+    histogram-derived latency and hop statistics as [latency_p50],
+    [hops_p99], ….  Derived from the same field-spec list as the struct,
+    so the export cannot drift from [Metrics.t]. *)

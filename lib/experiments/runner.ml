@@ -32,6 +32,28 @@ let with_jobs j f =
 let map f cells = Pool.map ~domains:(jobs ()) f cells
 
 (* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Like [forced_jobs]: written by the main domain before any fan-out.
+   Worker closures read it when they build their cluster — each cell gets
+   its OWN fresh sink (sinks are single-cluster mutable state and must
+   never be shared across domains). *)
+let forced_obs : (Terradir_obs.Obs.level * int) option ref = ref None
+
+let set_obs v = forced_obs := v
+
+let with_obs ~level ?(probe_every = 2000) f =
+  let saved = !forced_obs in
+  forced_obs := Some (level, probe_every);
+  Fun.protect ~finally:(fun () -> forced_obs := saved) f
+
+let fresh_obs () =
+  match !forced_obs with
+  | None -> None
+  | Some (level, probe_every) -> Some (Terradir_obs.Obs.create ~probe_every ~level ())
+
+(* ------------------------------------------------------------------ *)
 (* Simulation-cost accounting                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -52,7 +74,7 @@ let record_events cluster =
 (* ------------------------------------------------------------------ *)
 
 let run_phases ?(workload_seed = 1009) setup phases =
-  let cluster = Common.cluster setup in
+  let cluster = Common.cluster ?obs:(fresh_obs ()) setup in
   Scenario.run cluster ~phases ~seed:workload_seed;
   record_events cluster;
   cluster

@@ -28,6 +28,20 @@ val map : ('a -> 'b) -> 'a list -> 'b list
     exception-propagating.  Cells must be self-contained closures (see the
     concurrency model above). *)
 
+val set_obs : (Terradir_obs.Obs.level * int) option -> unit
+(** Pin (or unpin) the observability (level, probe cadence) that
+    {!run_phases} gives every cluster it builds.  Each cell gets its own
+    fresh sink — sinks are per-cluster mutable state and are never shared
+    across domains.  The resulting sink is reachable from the returned
+    cluster ([Cluster.obs]).  Main-domain only, like {!set_jobs}; the
+    default ([None]) builds clusters on the shared null sink. *)
+
+val with_obs :
+  level:Terradir_obs.Obs.level -> ?probe_every:int -> (unit -> 'a) -> 'a
+(** Run a thunk with observability pinned, restoring the previous setting
+    afterwards (also on exceptions).  [probe_every] defaults to 2000
+    engine events. *)
+
 val events_executed : unit -> int
 (** Total engine events executed by every {!run_phases} call so far, summed
     across domains (monotonic; the benchmark harness reads deltas). *)

@@ -1,0 +1,102 @@
+(* Typed flight-recorder events.  See the interface for the taxonomy. *)
+
+type t =
+  (* -- query lifecycle (span skeleton) -- *)
+  | Query_injected of { qid : int; dst : int }
+  | Queue_enter of { qid : int; attempt : int }
+  | Service_begin of { qid : int; attempt : int }
+  | Service_end of { qid : int; attempt : int }
+  | Net_transit of { qid : int; attempt : int; dst_server : int; delay : float }
+  | Query_forwarded of { qid : int; via_node : int; to_server : int; shortcut : bool }
+  | Query_resolved of { qid : int; latency : float; hops : int }
+  | Query_dropped of { qid : int; reason : string }
+  | Retransmit of { qid : int; attempt : int }
+  (* -- soft-state replica churn -- *)
+  | Replica_created of { node : int; from_server : int }
+  | Replica_evicted of { node : int }
+  | Replica_advertised of { node : int; to_server : int }
+  | Session_trigger of { load : float }
+  | Session_started of { session : int; peer : int }
+  | Session_aborted of { session : int }
+  (* -- cache and digest efficacy -- *)
+  | Cache_hit of { node : int }
+  | Cache_miss of { node : int }
+  | Digest_prune of { removed : int }
+  | Digest_shortcut of { node : int; to_server : int }
+  (* -- network faults -- *)
+  | Net_lost of { src : int; dst : int }
+  | Net_blocked of { src : int; dst : int }
+  (* -- server occupancy transitions -- *)
+  | Server_busy of { queue_depth : int }
+  | Server_idle
+
+let kind = function
+  | Query_injected _ -> "query_injected"
+  | Queue_enter _ -> "queue_enter"
+  | Service_begin _ -> "service_begin"
+  | Service_end _ -> "service_end"
+  | Net_transit _ -> "net_transit"
+  | Query_forwarded _ -> "query_forwarded"
+  | Query_resolved _ -> "query_resolved"
+  | Query_dropped _ -> "query_dropped"
+  | Retransmit _ -> "retransmit"
+  | Replica_created _ -> "replica_created"
+  | Replica_evicted _ -> "replica_evicted"
+  | Replica_advertised _ -> "replica_advertised"
+  | Session_trigger _ -> "session_trigger"
+  | Session_started _ -> "session_started"
+  | Session_aborted _ -> "session_aborted"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Digest_prune _ -> "digest_prune"
+  | Digest_shortcut _ -> "digest_shortcut"
+  | Net_lost _ -> "net_lost"
+  | Net_blocked _ -> "net_blocked"
+  | Server_busy _ -> "server_busy"
+  | Server_idle -> "server_idle"
+
+(* One compact [k=v] detail string per constructor; used by the event CSV
+   and the terminal dump.  Keep it comma-free: it lands in a CSV cell. *)
+let detail = function
+  | Query_injected { qid; dst } -> Printf.sprintf "qid=%d dst=%d" qid dst
+  | Queue_enter { qid; attempt } -> Printf.sprintf "qid=%d attempt=%d" qid attempt
+  | Service_begin { qid; attempt } -> Printf.sprintf "qid=%d attempt=%d" qid attempt
+  | Service_end { qid; attempt } -> Printf.sprintf "qid=%d attempt=%d" qid attempt
+  | Net_transit { qid; attempt; dst_server; delay } ->
+    Printf.sprintf "qid=%d attempt=%d dst_server=%d delay=%.6f" qid attempt dst_server delay
+  | Query_forwarded { qid; via_node; to_server; shortcut } ->
+    Printf.sprintf "qid=%d via_node=%d to_server=%d shortcut=%b" qid via_node to_server shortcut
+  | Query_resolved { qid; latency; hops } ->
+    Printf.sprintf "qid=%d latency=%.6f hops=%d" qid latency hops
+  | Query_dropped { qid; reason } -> Printf.sprintf "qid=%d reason=%s" qid reason
+  | Retransmit { qid; attempt } -> Printf.sprintf "qid=%d attempt=%d" qid attempt
+  | Replica_created { node; from_server } ->
+    Printf.sprintf "node=%d from_server=%d" node from_server
+  | Replica_evicted { node } -> Printf.sprintf "node=%d" node
+  | Replica_advertised { node; to_server } ->
+    Printf.sprintf "node=%d to_server=%d" node to_server
+  | Session_trigger { load } -> Printf.sprintf "load=%.4f" load
+  | Session_started { session; peer } -> Printf.sprintf "session=%d peer=%d" session peer
+  | Session_aborted { session } -> Printf.sprintf "session=%d" session
+  | Cache_hit { node } -> Printf.sprintf "node=%d" node
+  | Cache_miss { node } -> Printf.sprintf "node=%d" node
+  | Digest_prune { removed } -> Printf.sprintf "removed=%d" removed
+  | Digest_shortcut { node; to_server } -> Printf.sprintf "node=%d to_server=%d" node to_server
+  | Net_lost { src; dst } -> Printf.sprintf "src=%d dst=%d" src dst
+  | Net_blocked { src; dst } -> Printf.sprintf "src=%d dst=%d" src dst
+  | Server_busy { queue_depth } -> Printf.sprintf "queue_depth=%d" queue_depth
+  | Server_idle -> ""
+
+let qid = function
+  | Query_injected { qid; _ }
+  | Queue_enter { qid; _ }
+  | Service_begin { qid; _ }
+  | Service_end { qid; _ }
+  | Net_transit { qid; _ }
+  | Query_forwarded { qid; _ }
+  | Query_resolved { qid; _ }
+  | Query_dropped { qid; _ }
+  | Retransmit { qid; _ } -> Some qid
+  | Replica_created _ | Replica_evicted _ | Replica_advertised _ | Session_trigger _
+  | Session_started _ | Session_aborted _ | Cache_hit _ | Cache_miss _ | Digest_prune _
+  | Digest_shortcut _ | Net_lost _ | Net_blocked _ | Server_busy _ | Server_idle -> None

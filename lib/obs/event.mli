@@ -1,0 +1,70 @@
+(** Flight-recorder event taxonomy.
+
+    Every event is a plain constructor over [int]/[float]/[bool]/[string]
+    fields — this library sits {e below} the protocol layer, so events
+    refer to servers and namespace nodes by their integer ids rather than
+    by the richer [Types] records.  The recorder stamps each event with
+    the simulation time and the id of the server it happened on; the
+    constructors only carry what the stamp cannot.
+
+    Taxonomy (mirrors DESIGN §11):
+    - query lifecycle: injected / queue-enter / service begin+end /
+      net transit / forwarded / resolved / dropped / retransmit — these
+      form the skeleton from which {!Span} reconstructs per-query trees;
+    - replica churn: created / evicted / advertised, plus replication
+      session start/abort;
+    - cache and digest efficacy: hit / miss / digest prune / digest
+      shortcut;
+    - network faults: message lost / blocked by a partition;
+    - server occupancy: busy (with instantaneous queue depth) / idle. *)
+
+type t =
+  | Query_injected of { qid : int; dst : int }
+      (** a fresh lookup entered the system at the stamped server *)
+  | Queue_enter of { qid : int; attempt : int }
+      (** the query joined the stamped server's request queue *)
+  | Service_begin of { qid : int; attempt : int }
+  | Service_end of { qid : int; attempt : int }
+  | Net_transit of { qid : int; attempt : int; dst_server : int; delay : float }
+      (** the query left the stamped server on the wire; [delay] is the
+          network transit time, so the span is [[t, t +. delay]] *)
+  | Query_forwarded of { qid : int; via_node : int; to_server : int; shortcut : bool }
+      (** routing decision: forwarded on behalf of [via_node];
+          [shortcut] when a digest shortcut beat the tree route *)
+  | Query_resolved of { qid : int; latency : float; hops : int }
+  | Query_dropped of { qid : int; reason : string }
+      (** [reason] matches the [Types.drop_reason] label, e.g. "queue_full" *)
+  | Retransmit of { qid : int; attempt : int }
+      (** issuer-side rpc timer fired; [attempt] is the new attempt number *)
+  | Replica_created of { node : int; from_server : int }
+  | Replica_evicted of { node : int }
+  | Replica_advertised of { node : int; to_server : int }
+  | Session_trigger of { load : float }
+      (** the replication policy decided the stamped server's sustained
+          load warrants shedding (§3.3 step 1) *)
+  | Session_started of { session : int; peer : int }
+  | Session_aborted of { session : int }
+  | Cache_hit of { node : int }
+  | Cache_miss of { node : int }
+  | Digest_prune of { removed : int }
+      (** stale digest entries dropped from the stamped server's map *)
+  | Digest_shortcut of { node : int; to_server : int }
+      (** a digest membership test redirected routing for [node] *)
+  | Net_lost of { src : int; dst : int }
+  | Net_blocked of { src : int; dst : int }  (** partitioned, not random loss *)
+  | Server_busy of { queue_depth : int }
+      (** the stamped server left the idle state; emitted on the
+          idle->busy edge only, not per queued request *)
+  | Server_idle  (** the stamped server drained its queue *)
+
+val kind : t -> string
+(** Stable snake_case tag for CSV export and summaries ("query_injected",
+    "cache_hit", ...). *)
+
+val detail : t -> string
+(** Space-separated [k=v] rendering of the payload fields (comma-free, so
+    it embeds in a CSV cell). *)
+
+val qid : t -> int option
+(** The query id an event belongs to, for the span reconstructor; [None]
+    for events that are not part of a query lifecycle. *)

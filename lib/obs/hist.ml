@@ -1,0 +1,105 @@
+(* Log-bucketed histogram: 16 sub-buckets per octave (power of two), so
+   quantile readouts carry at most ~3% relative error while min/max/count/
+   sum stay exact.  Replaces reservoir sampling in reports: no RNG, no
+   sampling noise, O(1) add. *)
+
+let sub = 16
+
+(* Octaves covered: binary exponents in [min_exp, max_exp).  Latencies sit
+   around 2^-14..2^4 seconds and hop counts in 2^0..2^8; the range below
+   is vastly wider and still only ~2 KiB per histogram. *)
+let min_exp = -64
+
+let max_exp = 64
+
+let nbuckets = ((max_exp - min_exp) * sub) + 1 (* slot 0: values <= 0 *)
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; count = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity }
+
+let reset t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.vmin <- infinity;
+  t.vmax <- neg_infinity
+
+let index v =
+  if v <= 0.0 || Float.is_nan v then 0
+  else begin
+    let m, e = Float.frexp v in
+    (* m in [0.5, 1): spread over [sub] equal mantissa slices *)
+    let s = int_of_float ((m -. 0.5) *. 2.0 *. float_of_int sub) in
+    let s = if s < 0 then 0 else if s >= sub then sub - 1 else s in
+    let e = if e < min_exp then min_exp else if e >= max_exp then max_exp - 1 else e in
+    (((e - min_exp) * sub) + s) + 1
+  end
+
+(* Midpoint of bucket [i]'s value range — the quantile representative. *)
+let value_of_index i =
+  if i = 0 then 0.0
+  else begin
+    let i = i - 1 in
+    let e = (i / sub) + min_exp in
+    let s = i mod sub in
+    let m = 0.5 +. ((float_of_int s +. 0.5) /. (2.0 *. float_of_int sub)) in
+    Float.ldexp m e
+  end
+
+let add t v =
+  let i = index v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.count
+
+let sum t = t.sum
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let min_value t = if t.count = 0 then 0.0 else t.vmin
+
+let max_value t = if t.count = 0 then 0.0 else t.vmax
+
+let percentile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Hist.percentile: q outside [0, 1]";
+  if t.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+    let rank = if rank < 1 then 1 else rank in
+    let acc = ref 0 and i = ref 0 and found = ref (nbuckets - 1) in
+    (try
+       while !i < nbuckets do
+         acc := !acc + t.counts.(!i);
+         if !acc >= rank then begin
+           found := !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    let v = value_of_index !found in
+    (* the bucket midpoint can stick out past the observed extremes *)
+    if v < t.vmin then t.vmin else if v > t.vmax then t.vmax else v
+  end
+
+let summary_fields t =
+  [
+    ("count", float_of_int t.count);
+    ("mean", mean t);
+    ("p50", percentile t 0.5);
+    ("p95", percentile t 0.95);
+    ("p99", percentile t 0.99);
+    ("max", max_value t);
+  ]

@@ -1,0 +1,41 @@
+(** Log-bucketed histogram (HDR-style) for latency and hop distributions.
+
+    Values are binned into 16 sub-buckets per power-of-two octave, which
+    bounds the relative error of any quantile readout by about 3% while
+    [count]/[sum]/[min_value]/[max_value] stay exact.  Adding is O(1),
+    allocation-free, and — unlike the [Stats.Reservoir] path it replaces —
+    consumes no randomness, so histograms can live inside the simulation
+    without perturbing determinism.
+
+    Values [<= 0] (and NaN) all share a single underflow bucket. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+(** Exact smallest added value; 0 when empty. *)
+
+val max_value : t -> float
+(** Exact largest added value; 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t q] for [q] in [\[0, 1\]]: the midpoint of the bucket
+    holding the [ceil (q * count)]-th smallest value, clamped to the exact
+    observed [\[min, max\]] range (so [percentile t 1.0 = max_value t]).
+    0 when empty.  @raise Invalid_argument if [q] is outside [\[0, 1\]]. *)
+
+val summary_fields : t -> (string * float) list
+(** [("count", _); ("mean", _); ("p50", _); ("p95", _); ("p99", _);
+    ("max", _)] — the report/bench readout. *)

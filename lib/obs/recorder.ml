@@ -1,0 +1,52 @@
+(* Flight recorder: fixed-capacity ring of stamped events.  The three
+   parallel arrays are allocated once at creation; recording writes three
+   slots and bumps a counter, so steady-state cost is independent of how
+   long the run has been going. *)
+
+type entry = { time : float; server : int; event : Event.t }
+
+type t = {
+  times : float array;
+  servers : int array;
+  events : Event.t array;
+  capacity : int;
+  mutable recorded : int;  (* total ever recorded, monotone *)
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Recorder.create: negative capacity";
+  {
+    times = Array.make (max capacity 1) 0.0;
+    servers = Array.make (max capacity 1) 0;
+    events = Array.make (max capacity 1) Event.Server_idle;
+    capacity;
+    recorded = 0;
+  }
+
+let record t ~time ~server event =
+  if t.capacity > 0 then begin
+    let i = t.recorded mod t.capacity in
+    t.times.(i) <- time;
+    t.servers.(i) <- server;
+    t.events.(i) <- event;
+    t.recorded <- t.recorded + 1
+  end
+
+let capacity t = t.capacity
+
+let total t = t.recorded
+
+let retained t = min t.recorded t.capacity
+
+let iter t f =
+  let n = retained t in
+  let start = t.recorded - n in
+  for k = 0 to n - 1 do
+    let i = (start + k) mod t.capacity in
+    f { time = t.times.(i); server = t.servers.(i); event = t.events.(i) }
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc

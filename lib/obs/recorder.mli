@@ -1,0 +1,35 @@
+(** Flight recorder: a pre-allocated ring buffer of stamped events.
+
+    Recording overwrites the oldest entry once [capacity] events have been
+    stored — the recorder always retains the {e newest} [capacity] events,
+    in recording order (qcheck-enforced in [test_obs]).  Storage is three
+    parallel arrays allocated at creation; [record] never grows anything.
+
+    A recorder with [capacity = 0] ignores every [record] — that is the
+    disabled sink's backing store. *)
+
+type entry = { time : float; server : int; event : Event.t }
+(** [time] is simulation time; [server] the id of the server the event
+    happened on (the issuer for injection/retransmit events, [-1] where no
+    server is meaningful). *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 0]. *)
+
+val record : t -> time:float -> server:int -> Event.t -> unit
+
+val capacity : t -> int
+
+val total : t -> int
+(** Events ever recorded, including those overwritten. *)
+
+val retained : t -> int
+(** Events currently held: [min (total t) (capacity t)]. *)
+
+val iter : t -> (entry -> unit) -> unit
+(** Oldest retained entry first. *)
+
+val to_list : t -> entry list
+(** Chronological (oldest retained first). *)

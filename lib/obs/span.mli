@@ -1,0 +1,44 @@
+(** Per-query span reconstruction — the live counterpart of the offline
+    [Trace.route] probe.
+
+    A query's lifetime decomposes into segments, hop by hop:
+    - [Queue_wait]: from [Queue_enter] to the matching [Service_begin] on
+      one server (same attempt);
+    - [Service]: from [Service_begin] to [Service_end];
+    - [Transit]: the wire time of one forwarding step ([Net_transit]'s
+      stamp plus its recorded delay).
+
+    Reconstruction is defensive about ring-buffer truncation: a closing
+    event whose opening event was overwritten is dropped, and a segment
+    left open at the end of the stream is discarded rather than given an
+    invented end time.  Retransmitted attempts contribute their own
+    segments, distinguished by [seg_attempt]. *)
+
+type seg_kind = Queue_wait | Service | Transit
+
+type seg = {
+  seg_kind : seg_kind;
+  seg_server : int;  (** server the segment happened on (source for Transit) *)
+  seg_peer : int;  (** Transit: destination server; -1 otherwise *)
+  seg_attempt : int;
+  seg_start : float;
+  seg_stop : float;
+}
+
+type outcome = Resolved of { latency : float; hops : int } | Dropped of string | In_flight
+
+type t = {
+  span_qid : int;
+  span_src : int;  (** issuing server; -1 if injection fell off the ring *)
+  span_dst : int;  (** target node; -1 if unknown *)
+  span_start : float;
+  span_stop : float;  (** last activity, including trailing transit time *)
+  span_outcome : outcome;
+  span_retries : int;
+  span_segs : seg list;  (** chronological by [seg_start] *)
+}
+
+val of_entries : Recorder.entry list -> t list
+(** Group a chronological event stream by qid; result sorted by qid. *)
+
+val of_recorder : Recorder.t -> t list

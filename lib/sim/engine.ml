@@ -4,12 +4,13 @@ type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable clock : float;
   mutable executed : int;
-  mutable observer : (int * (unit -> unit)) option;
-      (** (cadence, hook): run the hook after every [cadence]-th event,
-          between events — never inside one *)
+  mutable observers : (int * (unit -> unit)) list;
+      (** (cadence, hook) pairs, in registration order: each hook runs
+          after every [cadence]-th event, between events — never inside
+          one *)
 }
 
-let create () = { queue = Pqueue.create (); clock = 0.0; executed = 0; observer = None }
+let create () = { queue = Pqueue.create (); clock = 0.0; executed = 0; observers = [] }
 
 let now t = t.clock
 
@@ -27,11 +28,15 @@ let pending t = Pqueue.length t.queue
 
 let next_time t = Option.map fst (Pqueue.min t.queue)
 
+let add_observer t ~every f =
+  if every < 1 then invalid_arg "Engine.add_observer: every must be >= 1";
+  t.observers <- t.observers @ [ (every, f) ]
+
 let set_observer t ~every f =
   if every < 1 then invalid_arg "Engine.set_observer: every must be >= 1";
-  t.observer <- Some (every, f)
+  t.observers <- [ (every, f) ]
 
-let clear_observer t = t.observer <- None
+let clear_observer t = t.observers <- []
 
 let step t =
   match Pqueue.pop t.queue with
@@ -40,9 +45,10 @@ let step t =
     t.clock <- time;
     t.executed <- t.executed + 1;
     f ();
-    (match t.observer with
-    | Some (every, obs) when t.executed mod every = 0 -> obs ()
-    | Some _ | None -> ());
+    (match t.observers with
+    | [] -> ()
+    | observers ->
+      List.iter (fun (every, obs) -> if t.executed mod every = 0 then obs ()) observers);
     true
 
 let run ?until t =

@@ -31,15 +31,19 @@ val next_time : t -> float option
 (** Timestamp of the earliest pending event, if any — what the clock will
     advance to on the next {!step}. *)
 
-val set_observer : t -> every:int -> (unit -> unit) -> unit
-(** Install the engine's (single) observer: the hook runs after every
-    [every]-th executed event, strictly {e between} events — handlers never
-    see it mid-flight.  The hook must not schedule events or otherwise
-    perturb the simulation; it exists for auditing (invariant checks,
-    progress probes).  Replaces any previous observer.
+val add_observer : t -> every:int -> (unit -> unit) -> unit
+(** Register an observer: the hook runs after every [every]-th executed
+    event, strictly {e between} events — handlers never see it mid-flight.
+    Hooks must not schedule events or otherwise perturb the simulation;
+    they exist for auditing and observation (invariant checks, probes).
+    Observers fire in registration order; several may share a cadence.
     @raise Invalid_argument if [every < 1]. *)
 
+val set_observer : t -> every:int -> (unit -> unit) -> unit
+(** [add_observer] after discarding every registered observer. *)
+
 val clear_observer : t -> unit
+(** Discard all observers. *)
 
 val run : ?until:float -> t -> unit
 (** Execute events in timestamp order.  With [until], stops (without

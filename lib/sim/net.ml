@@ -18,6 +18,7 @@ type partition = {
 
 type t = {
   rng : Splitmix.t;
+  obs : Terradir_obs.Obs.t;
   mutable p_loss : float;
   mutable latency : latency;
   mutable partitions : partition list;
@@ -39,11 +40,12 @@ let check_latency = function
     if median <= 0.0 then invalid_arg "Net: lognormal median must be positive";
     if sigma < 0.0 then invalid_arg "Net: lognormal sigma must be non-negative"
 
-let create ?(loss = 0.0) ?(latency = Constant 0.0) ~rng () =
+let create ?(loss = 0.0) ?(latency = Constant 0.0) ?(obs = Terradir_obs.Obs.null) ~rng () =
   check_loss loss;
   check_latency latency;
   {
     rng;
+    obs;
     p_loss = loss;
     latency;
     partitions = [];
@@ -102,10 +104,16 @@ let blocked t ~src ~dst =
 let transmit t ~src ~dst =
   if blocked t ~src ~dst then begin
     t.n_blocked <- t.n_blocked + 1;
+    if Terradir_obs.Obs.counters_on t.obs then
+      (* lint: obs-in-hot-path fault events are rare and gated on the counters level *)
+      Terradir_obs.Obs.record t.obs ~server:src (Terradir_obs.Event.Net_blocked { src; dst });
     Blocked
   end
   else if src <> dst && t.p_loss > 0.0 && Splitmix.float t.rng 1.0 < t.p_loss then begin
     t.n_lost <- t.n_lost + 1;
+    if Terradir_obs.Obs.counters_on t.obs then
+      (* lint: obs-in-hot-path fault events are rare and gated on the counters level *)
+      Terradir_obs.Obs.record t.obs ~server:src (Terradir_obs.Event.Net_lost { src; dst });
     Lost
   end
   else begin

@@ -31,9 +31,17 @@ type partition_id = int
 
 type t
 
-val create : ?loss:float -> ?latency:latency -> rng:Terradir_util.Splitmix.t -> unit -> t
+val create :
+  ?loss:float ->
+  ?latency:latency ->
+  ?obs:Terradir_obs.Obs.t ->
+  rng:Terradir_util.Splitmix.t ->
+  unit ->
+  t
 (** [create ~rng ()] is an ideal network (no loss, zero constant latency)
-    until configured otherwise.
+    until configured otherwise.  [obs] (default the disabled sink)
+    receives [Net_lost] / [Net_blocked] events, attributed to the sending
+    server; recording never touches [rng].
     @raise Invalid_argument if [loss] is outside [0, 1] or the latency
     parameters are invalid (negative times, [jitter > base],
     non-positive median, negative sigma). *)

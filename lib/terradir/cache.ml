@@ -1,16 +1,20 @@
 open Terradir_util
+module Obs = Terradir_obs.Obs
+module Event = Terradir_obs.Event
 
 type t = {
   lru : Node_map.t Lru.t;
   r_map : int;
   rng : Splitmix.t;
+  obs : Obs.t;
+  owner : int;  (* server id the sink attributes hit/miss events to *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ~slots ~r_map ~rng =
+let create ?(obs = Obs.null) ?(owner = -1) ~slots ~r_map ~rng () =
   if r_map < 1 then invalid_arg "Cache.create: r_map must be >= 1";
-  { lru = Lru.create ~capacity:slots; r_map; rng; hits = 0; misses = 0 }
+  { lru = Lru.create ~capacity:slots; r_map; rng; obs; owner; hits = 0; misses = 0 }
 
 let slots t = Lru.capacity t.lru
 
@@ -26,17 +30,21 @@ let insert t ~node map =
     in
     Lru.put t.lru node merged
 
-let count t = function
+let count t ~node = function
   | Some _ as r ->
     t.hits <- t.hits + 1;
+    (* lint: obs-in-hot-path per-lookup events only exist at the full level *)
+    if Obs.full_on t.obs then Obs.record t.obs ~server:t.owner (Event.Cache_hit { node });
     r
   | None ->
     t.misses <- t.misses + 1;
+    (* lint: obs-in-hot-path per-lookup events only exist at the full level *)
+    if Obs.full_on t.obs then Obs.record t.obs ~server:t.owner (Event.Cache_miss { node });
     None
 
-let use t ~node = count t (Lru.find t.lru node)
+let use t ~node = count t ~node (Lru.find t.lru node)
 
-let peek t ~node = count t (Lru.peek t.lru node)
+let peek t ~node = count t ~node (Lru.peek t.lru node)
 
 let remove t ~node = Lru.remove t.lru node
 
@@ -57,5 +65,9 @@ let iter t ~f = Lru.iter t.lru ~f
 let hits t = t.hits
 
 let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
 
 let clear t = Lru.clear t.lru

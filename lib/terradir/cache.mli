@@ -9,8 +9,17 @@
 
 type t
 
-val create : slots:int -> r_map:int -> rng:Terradir_util.Splitmix.t -> t
-(** [slots] may be 0 (caching disabled). *)
+val create :
+  ?obs:Terradir_obs.Obs.t ->
+  ?owner:int ->
+  slots:int ->
+  r_map:int ->
+  rng:Terradir_util.Splitmix.t ->
+  unit ->
+  t
+(** [slots] may be 0 (caching disabled).  [obs] (default disabled)
+    receives a [Cache_hit]/[Cache_miss] event per lookup at the [Full]
+    level, attributed to server [owner]. *)
 
 val slots : t -> int
 
@@ -38,5 +47,8 @@ val hits : t -> int
 
 val misses : t -> int
 (** {!use} and {!peek} count towards the hit/miss counters. *)
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before the first lookup. *)
 
 val clear : t -> unit

@@ -2,6 +2,18 @@ open Terradir_util
 open Terradir_namespace
 open Terradir_sim
 open Types
+module Obs = Terradir_obs.Obs
+module Event = Terradir_obs.Event
+module Probes = Terradir_obs.Probes
+
+(* Stable labels for the flight recorder; event payloads carry strings so
+   the obs library stays below [Types]. *)
+let drop_label = function
+  | Queue_full -> "queue_full"
+  | Hop_budget -> "hop_budget"
+  | Dead_end -> "dead_end"
+  | Server_dead -> "server_dead"
+  | Timed_out -> "timed_out"
 
 type fetch_outcome = Fetched of { latency : float } | Fetch_failed
 
@@ -30,6 +42,7 @@ type t = {
   owner_of : server_id array;
   rng : Splitmix.t;
   net : Net.t;
+  obs : Obs.t;
   metrics : Metrics.t;
   hop_budget : int;
   replicas_created_per_level : int array;
@@ -127,7 +140,15 @@ let rec send t ~from ~to_ payload =
   (* The network decides: silent loss and partitions vanish the message —
      the sender learns nothing, so recovery is the issuer's timer's job. *)
   match Net.transmit t.net ~src:from ~dst:to_ with
-  | Net.Delivered delay -> Engine.schedule t.engine ~delay (fun () -> deliver t ~to_ msg)
+  | Net.Delivered delay ->
+    (match payload with
+    | (Query q | Query_reply q) when Obs.spans_on t.obs ->
+      (* lint: obs-in-hot-path span skeleton wire segment; spans level *)
+      Obs.record t.obs ~server:from
+        (Event.Net_transit { qid = q.qid; attempt = q.attempt; dst_server = to_; delay })
+    | Query _ | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_request _
+    | Data_reply _ -> ());
+    Engine.schedule t.engine ~delay (fun () -> deliver t ~to_ msg)
   | Net.Lost -> t.metrics.Metrics.net_lost <- t.metrics.Metrics.net_lost + 1
   | Net.Blocked -> t.metrics.Metrics.net_blocked <- t.metrics.Metrics.net_blocked + 1
 
@@ -146,6 +167,9 @@ and deliver t ~to_ msg =
     | Query q ->
       if queue_full () then finish_dropped t q Queue_full
       else begin
+        if Obs.spans_on t.obs then
+          (* lint: obs-in-hot-path span skeleton queue entry; spans level *)
+          Obs.record t.obs ~server:to_ (Event.Queue_enter { qid = q.qid; attempt = q.attempt });
         Queue.add msg s.Server.queue;
         kick t to_
       end
@@ -156,6 +180,11 @@ and deliver t ~to_ msg =
         kick t to_
       end
     | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ ->
+      (match msg.msg_payload with
+      | Query_reply q when Obs.spans_on t.obs ->
+        (* lint: obs-in-hot-path the reply leg's queue wait; spans level *)
+        Obs.record t.obs ~server:to_ (Event.Queue_enter { qid = q.qid; attempt = q.attempt })
+      | _ -> ());
       Queue.add msg s.Server.ctrl_queue;
       kick t to_)
   end
@@ -202,6 +231,17 @@ and kick t sid =
     | None -> ()
     | Some msg ->
       s.Server.serving <- true;
+      if Obs.counters_on t.obs && not s.Server.obs_busy then begin
+        s.Server.obs_busy <- true;
+        (* lint: obs-in-hot-path idle->busy edge only, not per request; counters level *)
+        Obs.record t.obs ~server:sid
+          (Event.Server_busy { queue_depth = Queue.length s.Server.queue })
+      end;
+      (match msg.msg_payload with
+      | (Query q | Query_reply q) when Obs.spans_on t.obs ->
+        (* lint: obs-in-hot-path span skeleton service start; spans level *)
+        Obs.record t.obs ~server:sid (Event.Service_begin { qid = q.qid; attempt = q.attempt })
+      | _ -> ());
       Load_meter.begin_busy s.Server.load (now t);
       let duration =
         (match msg.msg_payload with
@@ -216,8 +256,20 @@ and kick t sid =
           if t.epochs.(sid) = epoch && s.Server.alive then begin
             Load_meter.end_busy s.Server.load (now t);
             s.Server.serving <- false;
+            (match msg.msg_payload with
+            | (Query q | Query_reply q) when Obs.spans_on t.obs ->
+              (* lint: obs-in-hot-path span skeleton service end; spans level *)
+              Obs.record t.obs ~server:sid (Event.Service_end { qid = q.qid; attempt = q.attempt })
+            | _ -> ());
             process t sid msg;
-            kick t sid
+            kick t sid;
+            (* [obs_busy] is only ever set while the counters level is on,
+               so the drain edge below cannot fire with a disabled sink. *)
+            if s.Server.obs_busy && not s.Server.serving then begin
+              s.Server.obs_busy <- false;
+              (* lint: obs-in-hot-path busy->idle edge only; counters level *)
+              Obs.record t.obs ~server:sid Event.Server_idle
+            end
           end)
   end
 
@@ -234,7 +286,8 @@ and process t sid msg =
     send t ~from:sid ~to_:msg.msg_from
       (Load_reply { session; load = Load_meter.load s.Server.load (now t) })
   | Load_reply { session; load } -> handle_load_reply t s ~peer:msg.msg_from ~session ~peer_load:load
-  | Replicate { session = _; replicas } -> handle_replicate t s ~sender_load:msg.msg_load replicas
+  | Replicate { session = _; replicas } ->
+    handle_replicate t s ~sender:msg.msg_from ~sender_load:msg.msg_load replicas
   | Data_request { fetch_id; node; client } ->
     (* Data is durable at its holders (like ownership); serving it is pure
        busy time, already accounted by this service slot. *)
@@ -363,6 +416,10 @@ and process_query ?from t s q =
     else begin
       q.target <- via_node;
       q.best_dist <- min q.best_dist (Tree.distance t.tree via_node q.dst);
+      if Obs.full_on t.obs then
+        (* lint: obs-in-hot-path per-hop routing detail; full level only *)
+        Obs.record t.obs ~server:s.Server.id
+          (Event.Query_forwarded { qid = q.qid; via_node; to_server; shortcut });
       send t ~from:s.Server.id ~to_:to_server (Query q)
     end
   | Routing.Dead_end ->
@@ -386,6 +443,10 @@ and finish_dropped t q reason =
   | Some ctx ->
     Hashtbl.remove t.pending_queries q.qid;
     Metrics.drop t.metrics reason ~now:(now t);
+    if Obs.spans_on t.obs then
+      (* lint: obs-in-hot-path terminal drop closes the span; spans level *)
+      Obs.record t.obs ~server:ctx.qc_src
+        (Event.Query_dropped { qid = q.qid; reason = drop_label reason });
     Option.iter (fun k -> k (Dropped reason)) ctx.qc_on_complete
 
 (* ------------------------------------------------------------------ *)
@@ -447,6 +508,10 @@ and complete_query t s q =
     absorb_path ~at_endpoint:true t s q.path;
     let latency = now t -. q.born in
     Metrics.resolve t.metrics ~latency ~hops:q.hops ~now:(now t);
+    if Obs.spans_on t.obs then
+      (* lint: obs-in-hot-path resolution closes the span; spans level *)
+      Obs.record t.obs ~server:ctx.qc_src
+        (Event.Query_resolved { qid = q.qid; latency; hops = q.hops });
     (* Meta-data staleness at the resolving host, vs the owner's truth. *)
     (match Server.find_hosted t.servers.(t.owner_of.(q.dst)) q.dst with
     | Some owner_rec ->
@@ -474,6 +539,12 @@ and maybe_start_session t s =
 
 and abort_session t s =
   t.metrics.Metrics.sessions_aborted <- t.metrics.Metrics.sessions_aborted + 1;
+  (match s.Server.session with
+  | Some sess when Obs.counters_on t.obs ->
+    (* lint: obs-in-hot-path session aborts are rare; counters level *)
+    Obs.record t.obs ~server:s.Server.id
+      (Event.Session_aborted { session = sess.Server.session_id })
+  | Some _ | None -> ());
   s.Server.session <- None;
   s.Server.session_backoff_until <- now t +. t.config.Config.retry_delay
 
@@ -481,6 +552,10 @@ and probe_next_peer t s sess =
   match Server.min_load_peer s ~exclude:(s.Server.id :: sess.Server.tried) with
   | None -> abort_session t s
   | Some (peer, _believed) ->
+    if sess.Server.attempts = 0 && Obs.counters_on t.obs then
+      (* lint: obs-in-hot-path at most one start per session; counters level *)
+      Obs.record t.obs ~server:s.Server.id
+        (Event.Session_started { session = sess.Server.session_id; peer });
     sess.Server.tried <- peer :: sess.Server.tried;
     sess.Server.attempts <- sess.Server.attempts + 1;
     send t ~from:s.Server.id ~to_:peer (Load_probe { session = sess.Server.session_id });
@@ -520,7 +595,7 @@ and handle_load_reply t s ~peer ~session ~peer_load =
     else probe_next_peer t s sess
   | Some _ | None -> () (* stale reply from an expired session *)
 
-and handle_replicate t s ~sender_load replicas =
+and handle_replicate t s ~sender ~sender_load replicas =
   let time = now t in
   let installed = ref 0 in
   let evicted_before = s.Server.replicas_evicted in
@@ -529,6 +604,10 @@ and handle_replicate t s ~sender_load replicas =
       match Server.install_replica s payload ~now:time with
       | `Installed ->
         incr installed;
+        if Obs.counters_on t.obs then
+          (* lint: obs-in-hot-path replica churn is rare; counters level *)
+          Obs.record t.obs ~server:s.Server.id
+            (Event.Replica_created { node = payload.rp_node; from_server = sender });
         Metrics.replica_created t.metrics ~now:time;
         let level = Tree.depth t.tree payload.rp_node in
         t.replicas_created_per_level.(level) <- t.replicas_created_per_level.(level) + 1
@@ -565,9 +644,13 @@ let place_owners config tree rng =
     Array.iteri (fun rank node -> owners.(node) <- rank mod s) order;
     owners
 
-let create ?(monitor = true) ~config ~tree () =
+let create ?(monitor = true) ?(obs = Obs.null) ~config ~tree () =
   Config.validate config;
   let rng = Splitmix.create config.Config.seed in
+  let engine = Engine.create () in
+  (* The sink reads simulation time through this closure; a null sink
+     ignores it (shared across clusters and domains). *)
+  Obs.set_clock obs (fun () -> Engine.now engine);
   let owner_of = place_owners config tree rng in
   (* Heterogeneous capacities: log-uniform speeds, normalized to mean 1 so
      the cluster's aggregate capacity does not depend on the spread. *)
@@ -585,7 +668,7 @@ let create ?(monitor = true) ~config ~tree () =
   in
   let servers =
     Array.init config.Config.num_servers (fun id ->
-        Server.create ~speed:speeds.(id) ~id ~config ~tree ~rng:(Splitmix.split rng) ())
+        Server.create ~speed:speeds.(id) ~id ~config ~tree ~obs ~rng:(Splitmix.split rng) ())
   in
   (* Static data placement: owner first, then distinct extra holders. *)
   let data_holders =
@@ -608,18 +691,19 @@ let create ?(monitor = true) ~config ~tree () =
         Net.Uniform { base = config.Config.network_delay; jitter = config.Config.net_jitter }
       else Net.Constant config.Config.network_delay
     in
-    Net.create ~loss:config.Config.net_loss ~latency
+    Net.create ~loss:config.Config.net_loss ~latency ~obs
       ~rng:(Splitmix.create (config.Config.seed lxor 0x4e455431)) ()
   in
   let t =
     {
-      engine = Engine.create ();
+      engine;
       config;
       tree;
       servers;
       owner_of;
       rng;
       net;
+      obs;
       metrics = Metrics.create ~rng:(Splitmix.split rng);
       hop_budget = (4 * Tree.max_depth tree) + config.Config.hop_budget_slack;
       replicas_created_per_level = Array.make (Tree.max_depth tree + 1) 0;
@@ -635,8 +719,26 @@ let create ?(monitor = true) ~config ~tree () =
     }
   in
   (match t.audit with
-  | Some a -> Engine.set_observer t.engine ~every:config.Config.audit_every (fun () -> audit_pass t a)
+  | Some a -> Engine.add_observer t.engine ~every:config.Config.audit_every (fun () -> audit_pass t a)
   | None -> ());
+  (* Per-server probe series on the engine-observer cadence: raw load,
+     queue depth, replica count, cache hit rate.  Pure reads — consumes no
+     randomness and schedules nothing, so the event order is untouched. *)
+  if Obs.counters_on obs then
+    Engine.add_observer t.engine ~every:(Obs.probe_every obs) (fun () ->
+        let time = now t in
+        Array.iter
+          (fun s ->
+            if s.Server.alive then
+              Probes.add (Obs.probes obs) ~server:s.Server.id
+                {
+                  Probes.p_time = time;
+                  p_load = Load_meter.raw_load s.Server.load time;
+                  p_queue = Queue.length s.Server.queue;
+                  p_replicas = s.Server.replica_count;
+                  p_hit_rate = Cache.hit_rate s.Server.cache;
+                })
+          t.servers);
   (* Bootstrap ownership and per-node routing contexts. *)
   Array.iteri
     (fun node owner -> Server.add_owned servers.(owner) node ~owner_of:(fun v -> owner_of.(v)) ~now:0.0)
@@ -753,11 +855,19 @@ let rec arm_query_timer t qid =
             if attempt >= t.config.Config.max_retries then begin
               Hashtbl.remove t.pending_queries qid;
               Metrics.drop t.metrics Timed_out ~now:(now t);
+              if Obs.spans_on t.obs then
+                (* lint: obs-in-hot-path final timer expiry closes the span; spans level *)
+                Obs.record t.obs ~server:cur.qc_src
+                  (Event.Query_dropped { qid; reason = drop_label Timed_out });
               Option.iter (fun k -> k (Dropped Timed_out)) cur.qc_on_complete
             end
             else begin
               cur.qc_attempt <- attempt + 1;
               t.metrics.Metrics.query_retransmits <- t.metrics.Metrics.query_retransmits + 1;
+              if Obs.spans_on t.obs then
+                (* lint: obs-in-hot-path timer-driven retries are rare; spans level *)
+                Obs.record t.obs ~server:cur.qc_src
+                  (Event.Retransmit { qid; attempt = attempt + 1 });
               start_query_attempt t qid cur;
               arm_query_timer t qid
             end
@@ -775,6 +885,9 @@ let inject ?on_complete t ~src ~dst =
     { qc_src = src; qc_dst = dst; qc_born = time; qc_attempt = 0; qc_on_complete = on_complete }
   in
   Hashtbl.add t.pending_queries qid ctx;
+  if Obs.spans_on t.obs then
+    (* lint: obs-in-hot-path span root; spans level *)
+    Obs.record t.obs ~server:src (Event.Query_injected { qid; dst });
   start_query_attempt t qid ctx;
   arm_query_timer t qid
 
@@ -913,6 +1026,11 @@ let kill t sid =
     t.epochs.(sid) <- t.epochs.(sid) + 1;
     if Load_meter.is_busy s.Server.load then Load_meter.end_busy s.Server.load (now t);
     s.Server.serving <- false;
+    if s.Server.obs_busy then begin
+      s.Server.obs_busy <- false;
+      (* lint: obs-in-hot-path fail-stop is a cold path; counters level *)
+      Obs.record t.obs ~server:sid Event.Server_idle
+    end;
     (* Queued work dies with the server; fetches fail over to other
        holders. *)
     Queue.iter

@@ -76,6 +76,9 @@ type t = {
   net : Terradir_sim.Net.t;
       (** the fault-injectable transport; install partitions / change loss
           on it directly ({!Terradir_sim.Net.partition}, [set_loss]) *)
+  obs : Terradir_obs.Obs.t;
+      (** the observability sink every layer records into; the null sink
+          (the default) makes every hook a single dead branch *)
   metrics : Metrics.t;
   hop_budget : int;
   replicas_created_per_level : int array;
@@ -95,12 +98,27 @@ type t = {
           {!run_until}, which also delivers the collected report *)
 }
 
-val create : ?monitor:bool -> config:Config.t -> tree:Terradir_namespace.Tree.t -> unit -> t
+val create :
+  ?monitor:bool ->
+  ?obs:Terradir_obs.Obs.t ->
+  config:Config.t ->
+  tree:Terradir_namespace.Tree.t ->
+  unit ->
+  t
 (** Build the deployment: validate config, place node ownership (uniform or
     round-robin per config), bootstrap each server's owned nodes and
     neighbor contexts, give each server [bootstrap_peers] random known
     peers, and (when [monitor], default true) schedule the per-second load
-    sampler and the periodic replica idle scans. *)
+    sampler and the periodic replica idle scans.
+
+    [obs] (default {!Terradir_obs.Obs.null}) is the flight-recorder sink:
+    the cluster points its clock at the engine, threads it into every
+    server, the cache layer, and the network, and — when the sink level
+    enables counters — registers an engine observer that samples per-server
+    probes (load, queue depth, replicas, cache hit rate) every
+    [Obs.probe_every] events.  Recording is passive: it never draws
+    randomness and never schedules events, so enabling it cannot change a
+    run's trajectory. *)
 
 val now : t -> float
 

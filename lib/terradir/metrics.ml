@@ -1,4 +1,5 @@
 open Terradir_util
+module Hist = Terradir_obs.Hist
 
 type t = {
   mutable injected : int;
@@ -25,8 +26,9 @@ type t = {
   mutable data_completed : int;
   mutable data_dropped : int;
   latency : Stats.t;
-  latency_sample : Stats.Reservoir.t;
+  latency_hist : Hist.t;
   hops : Stats.t;
+  hops_hist : Hist.t;
   data_latency : Stats.t;
   meta_lag : Stats.t;
   injected_ts : Timeseries.t;
@@ -36,7 +38,12 @@ type t = {
   load_max_ts : Timeseries.t;
 }
 
+(* [rng] is accepted (and split off by the caller) for compatibility: the
+   reservoir sampler it used to feed is gone — log-bucketed histograms
+   need no randomness — but dropping the split here would shift every
+   downstream draw and invalidate the golden CSVs. *)
 let create ~rng =
+  ignore (rng : Splitmix.t);
   {
     injected = 0;
     resolved = 0;
@@ -62,8 +69,9 @@ let create ~rng =
     data_completed = 0;
     data_dropped = 0;
     latency = Stats.create ();
-    latency_sample = Stats.Reservoir.create ~capacity:8192 rng;
+    latency_hist = Hist.create ();
     hops = Stats.create ();
+    hops_hist = Hist.create ();
     data_latency = Stats.create ();
     meta_lag = Stats.create ();
     injected_ts = Timeseries.create ();
@@ -90,8 +98,9 @@ let resolve t ~latency ~hops ~now =
   ignore now;
   t.resolved <- t.resolved + 1;
   Stats.add t.latency latency;
-  Stats.Reservoir.add t.latency_sample latency;
-  Stats.add t.hops (float_of_int hops)
+  Hist.add t.latency_hist latency;
+  Stats.add t.hops (float_of_int hops);
+  Hist.add t.hops_hist (float_of_int hops)
 
 let replica_created t ~now =
   t.replicas_created <- t.replicas_created + 1;
@@ -100,47 +109,83 @@ let replica_created t ~now =
 let drop_fraction t =
   if t.injected = 0 then 0.0 else float_of_int (dropped_total t) /. float_of_int t.injected
 
+(* ---- the counter field-spec ----
+
+   Single source of truth for every cumulative counter: (csv column,
+   human label, getter).  The CSV exporter and the terminal summary both
+   derive from these lists, so a counter added to the struct but not the
+   spec shows up nowhere — and the spec-coverage test in test_obs pins
+   the column count, so extending [t] forces extending this table. *)
+
+let lifecycle_fields =
+  [
+    ("injected", "queries injected", fun m -> m.injected);
+    ("resolved", "queries resolved", fun m -> m.resolved);
+    ("dropped_queue", "dropped (queue full)", fun m -> m.dropped_queue);
+    ("dropped_hops", "dropped (hop budget)", fun m -> m.dropped_hops);
+    ("dropped_dead_end", "dropped (dead end)", fun m -> m.dropped_dead_end);
+    ("dropped_server_dead", "dropped (server dead)", fun m -> m.dropped_server_dead);
+  ]
+
+let protocol_fields =
+  [
+    ("replicas_created", "replicas created", fun m -> m.replicas_created);
+    ("replicas_evicted", "replicas evicted", fun m -> m.replicas_evicted);
+    ("sessions_started", "replication sessions", fun m -> m.sessions_started);
+    ("sessions_aborted", "sessions aborted", fun m -> m.sessions_aborted);
+    ("control_messages", "control messages", fun m -> m.control_messages);
+    ("query_forwards", "query forwards", fun m -> m.query_forwards);
+    ("shortcut_forwards", "digest shortcuts", fun m -> m.shortcut_forwards);
+    ("stale_forwards", "stale forwards", fun m -> m.stale_forwards);
+  ]
+
+let net_fields =
+  [
+    ("dropped_timeout", "dropped (timed out)", fun m -> m.dropped_timeout);
+    ("net_lost", "messages lost (network)", fun m -> m.net_lost);
+    ("net_blocked", "messages blocked (partition)", fun m -> m.net_blocked);
+    ("query_retransmits", "query retransmits", fun m -> m.query_retransmits);
+    ("fetch_retransmits", "fetch retransmits", fun m -> m.fetch_retransmits);
+    ("late_replies", "late replies discarded", fun m -> m.late_replies);
+  ]
+
+let data_fields =
+  [
+    ("data_requests", "data fetches", fun m -> m.data_requests);
+    ("data_completed", "data fetched", fun m -> m.data_completed);
+    ("data_dropped", "data dropped", fun m -> m.data_dropped);
+  ]
+
+let counter_fields =
+  List.map
+    (fun (name, _, get) -> (name, get))
+    (lifecycle_fields @ protocol_fields @ net_fields @ data_fields)
+
+let csv_header = List.map fst counter_fields
+
+let csv_row t = List.map (fun (_, get) -> string_of_int (get t)) counter_fields
+
 let summary_rows t =
   let f = Printf.sprintf in
-  [
-    ("queries injected", f "%d" t.injected);
-    ("queries resolved", f "%d" t.resolved);
-    ("dropped (queue full)", f "%d" t.dropped_queue);
-    ("dropped (hop budget)", f "%d" t.dropped_hops);
-    ("dropped (dead end)", f "%d" t.dropped_dead_end);
-    ("dropped (server dead)", f "%d" t.dropped_server_dead);
-    ("drop fraction", f "%.4f" (drop_fraction t));
-    ("mean latency (s)", f "%.4f" (Stats.mean t.latency));
-    ("mean hops", f "%.2f" (Stats.mean t.hops));
-    ("replicas created", f "%d" t.replicas_created);
-    ("replicas evicted", f "%d" t.replicas_evicted);
-    ("replication sessions", f "%d" t.sessions_started);
-    ("sessions aborted", f "%d" t.sessions_aborted);
-    ("control messages", f "%d" t.control_messages);
-    ("query forwards", f "%d" t.query_forwards);
-    ("digest shortcuts", f "%d" t.shortcut_forwards);
-    ("stale forwards", f "%d" t.stale_forwards);
-  ]
+  let ints fields = List.map (fun (_, label, get) -> (label, f "%d" (get t))) fields in
+  ints lifecycle_fields
+  @ [
+      ("drop fraction", f "%.4f" (drop_fraction t));
+      ("mean latency (s)", f "%.4f" (Stats.mean t.latency));
+      ("latency p50 (s)", f "%.4f" (Hist.percentile t.latency_hist 0.5));
+      ("latency p95 (s)", f "%.4f" (Hist.percentile t.latency_hist 0.95));
+      ("latency p99 (s)", f "%.4f" (Hist.percentile t.latency_hist 0.99));
+      ("latency max (s)", f "%.4f" (Hist.max_value t.latency_hist));
+      ("mean hops", f "%.2f" (Stats.mean t.hops));
+      ("hops p99", f "%.0f" (Hist.percentile t.hops_hist 0.99));
+    ]
+  @ ints protocol_fields
   @ (if
        t.net_lost + t.net_blocked + t.query_retransmits + t.fetch_retransmits
        + t.dropped_timeout + t.late_replies
        = 0
      then []
-     else
-       [
-         ("dropped (timed out)", f "%d" t.dropped_timeout);
-         ("messages lost (network)", f "%d" t.net_lost);
-         ("messages blocked (partition)", f "%d" t.net_blocked);
-         ("query retransmits", f "%d" t.query_retransmits);
-         ("fetch retransmits", f "%d" t.fetch_retransmits);
-         ("late replies discarded", f "%d" t.late_replies);
-       ])
+     else ints net_fields)
   @
   if t.data_requests = 0 then []
-  else
-    [
-      ("data fetches", f "%d" t.data_requests);
-      ("data fetched", f "%d" t.data_completed);
-      ("data dropped", f "%d" t.data_dropped);
-      ("mean fetch latency (s)", f "%.4f" (Stats.mean t.data_latency));
-    ]
+  else ints data_fields @ [ ("mean fetch latency (s)", f "%.4f" (Stats.mean t.data_latency)) ]

@@ -40,8 +40,12 @@ type t = {
   mutable data_dropped : int;
   (* distributions *)
   latency : Stats.t;  (** resolution latency, seconds *)
-  latency_sample : Stats.Reservoir.t;
+  latency_hist : Terradir_obs.Hist.t;
+      (** log-bucketed latency distribution (p50/p95/p99/max readout);
+          replaces the old reservoir-sampled percentile path — exact
+          counts, no RNG *)
   hops : Stats.t;  (** network hops per resolved query *)
+  hops_hist : Terradir_obs.Hist.t;
   data_latency : Stats.t;  (** fetch round-trip, seconds *)
   meta_lag : Stats.t;
       (** meta-data versions behind the owner at resolution — how stale the
@@ -55,6 +59,9 @@ type t = {
 }
 
 val create : rng:Splitmix.t -> t
+(** [rng] is consumed for stream-compatibility only (the reservoir
+    sampler it used to feed is gone); callers keep splitting a stream off
+    for it so seeded runs reproduce historical golden output. *)
 
 val dropped_total : t -> int
 
@@ -69,4 +76,18 @@ val drop_fraction : t -> float
 (** Dropped / injected over the whole run (Fig. 5's metric). *)
 
 val summary_rows : t -> (string * string) list
-(** Human-readable key/value summary for reports. *)
+(** Human-readable key/value summary for reports.  Counter rows are
+    generated from {!counter_fields}; derived rows (drop fraction, means,
+    histogram percentiles) are interleaved, and the network-fault / data
+    sections are omitted while inactive. *)
+
+val counter_fields : (string * (t -> int)) list
+(** The single source of truth for cumulative counters: (CSV column name,
+    getter), one entry per mutable counter of [t], in export order.  Both
+    {!summary_rows} and [Csv_export.metrics_csv] derive from this list. *)
+
+val csv_header : string list
+(** Column names of {!counter_fields}. *)
+
+val csv_row : t -> string list
+(** Counter values, aligned with {!csv_header}. *)

@@ -1,3 +1,6 @@
+module Obs = Terradir_obs.Obs
+module Event = Terradir_obs.Event
+
 let max_shed_nodes = 32
 
 let effective_high_water (s : Server.t) ~now =
@@ -23,12 +26,19 @@ let effective_high_water (s : Server.t) ~now =
    excursions at moderate utilization would otherwise fire sessions
    spuriously and the system would never quiesce. *)
 let should_start (s : Server.t) ~now =
-  s.config.Config.features.Config.replication
-  && s.session = None
-  && now >= s.session_backoff_until
-  && Hashtbl.length s.hosted > 0
-  && Load_meter.sustained_load s.load now >= s.config.Config.high_water (* cheap floor *)
-  && Load_meter.sustained_load s.load now >= effective_high_water s ~now
+  let go =
+    s.config.Config.features.Config.replication
+    && s.session = None
+    && now >= s.session_backoff_until
+    && Hashtbl.length s.hosted > 0
+    && Load_meter.sustained_load s.load now >= s.config.Config.high_water (* cheap floor *)
+    && Load_meter.sustained_load s.load now >= effective_high_water s ~now
+  in
+  if go && Obs.counters_on s.Server.obs then
+    (* lint: obs-in-hot-path fires at most once per session; counters level *)
+    Obs.record s.Server.obs ~server:s.Server.id
+      (Event.Session_trigger { load = Load_meter.sustained_load s.load now });
+  go
 
 let shed_target ~l_source ~l_dest =
   if l_source <= 0.0 then 0.0 else Float.max 0.0 ((l_source -. l_dest) /. (2.0 *. l_source))

@@ -1,5 +1,7 @@
 open Terradir_namespace
 open Types
+module Obs = Terradir_obs.Obs
+module Event = Terradir_obs.Event
 
 type decision =
   | Resolve
@@ -152,7 +154,12 @@ let decide ?(shortcut_bound = max_int) ?oracle (s : Server.t) ~dst =
       else digest_shortcut s ~dst ~better_than:(min best_dist shortcut_bound)
     in
     match shortcut with
-    | Some (via_node, to_server, _) -> Forward { via_node; to_server; shortcut = true }
+    | Some (via_node, to_server, _) ->
+      if Obs.full_on s.Server.obs then
+        (* lint: obs-in-hot-path gated on the full level; null-sink cost is one branch *)
+        Obs.record s.Server.obs ~server:s.Server.id
+          (Event.Digest_shortcut { node = via_node; to_server });
+      Forward { via_node; to_server; shortcut = true }
     | None -> (
       (* Fast path: the nearest candidate almost always yields a server;
          fall back to the full nearest-first scan when it does not. *)

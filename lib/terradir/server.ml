@@ -1,6 +1,8 @@
 open Terradir_util
 open Terradir_namespace
 open Types
+module Obs = Terradir_obs.Obs
+module Event = Terradir_obs.Event
 
 type host_kind = Owned | Replicated
 
@@ -21,6 +23,7 @@ type t = {
   config : Config.t;
   tree : Tree.t;
   rng : Splitmix.t;
+  obs : Obs.t;
   speed : float;
   hosted : (node_id, hosted) Hashtbl.t;
   neighbor_maps : (node_id, neighbor_ref) Hashtbl.t;
@@ -34,6 +37,7 @@ type t = {
   queue : message Queue.t;
   ctrl_queue : message Queue.t;
   mutable serving : bool;
+  mutable obs_busy : bool;
   mutable session : session option;
   mutable session_backoff_until : float;
   mutable last_decay : float;
@@ -43,19 +47,20 @@ type t = {
   mutable replicas_evicted : int;
 }
 
-let create ~id ~config ~tree ?(speed = 1.0) ~rng () =
+let create ~id ~config ~tree ?(speed = 1.0) ?(obs = Obs.null) ~rng () =
   if speed <= 0.0 then invalid_arg "Server.create: speed must be positive";
   {
     id;
     config;
     tree;
     rng;
+    obs;
     speed;
     hosted = Hashtbl.create 32;
     neighbor_maps = Hashtbl.create 64;
     owned_count = 0;
     replica_count = 0;
-    cache = Cache.create ~slots:config.Config.cache_slots ~r_map:config.Config.r_map ~rng;
+    cache = Cache.create ~obs ~owner:id ~slots:config.Config.cache_slots ~r_map:config.Config.r_map ~rng ();
     digests = Digest_store.create ~max_remote:config.Config.max_remote_digests ();
     load = Load_meter.create ~window:config.Config.load_window;
     ranking = Ranking.create ();
@@ -63,6 +68,7 @@ let create ~id ~config ~tree ?(speed = 1.0) ~rng () =
     queue = Queue.create ();
     ctrl_queue = Queue.create ();
     serving = false;
+    obs_busy = false;
     session = None;
     session_backoff_until = 0.0;
     last_decay = 0.0;
@@ -211,6 +217,8 @@ let evict_replica t node =
     Hashtbl.remove t.hosted node;
     t.replica_count <- t.replica_count - 1;
     t.replicas_evicted <- t.replicas_evicted + 1;
+    (* lint: obs-in-hot-path replica churn is counters-level and rare *)
+    if Obs.counters_on t.obs then Obs.record t.obs ~server:t.id (Event.Replica_evicted { node });
     List.iter (unref_neighbor t) (Tree.neighbors t.tree node);
     Ranking.remove t.ranking node;
     rebuild_digest t
@@ -320,11 +328,20 @@ let queue_length t = Queue.length t.queue
 
 let prune_map_with_digests t node map =
   if not t.config.Config.features.Config.digests then map
-  else
-    Node_map.filter map ~f:(fun e ->
-        match Digest_store.test_remote t.digests ~server:e.Node_map.server ~node with
-        | Some false -> false (* digest denial is authoritative: no false negatives *)
-        | Some true | None -> true)
+  else begin
+    let pruned =
+      Node_map.filter map ~f:(fun e ->
+          match Digest_store.test_remote t.digests ~server:e.Node_map.server ~node with
+          | Some false -> false (* digest denial is authoritative: no false negatives *)
+          | Some true | None -> true)
+    in
+    if Obs.full_on t.obs then begin
+      let removed = Node_map.size map - Node_map.size pruned in
+      (* lint: obs-in-hot-path gated on the full level; pure size readout *)
+      if removed > 0 then Obs.record t.obs ~server:t.id (Event.Digest_prune { removed })
+    end;
+    pruned
+  end
 
 let make_replica_payload t node ~now =
   match find_hosted t node with
@@ -365,7 +382,10 @@ let record_new_replica t node target ~now =
     h.h_map <-
       Node_map.add ~max:(r_map t) h.h_map
         { Node_map.server = target; is_owner = false; stamp = now };
-    ensure_self t h ~now
+    ensure_self t h ~now;
+    if Obs.counters_on t.obs then
+      (* lint: obs-in-hot-path replica churn is counters-level and rare *)
+      Obs.record t.obs ~server:t.id (Event.Replica_advertised { node; to_server = target })
 
 let state_kinds t =
   let by_node (a, _) (b, _) = Int.compare a b in

@@ -43,6 +43,9 @@ type t = {
   config : Config.t;
   tree : Terradir_namespace.Tree.t;
   rng : Terradir_util.Splitmix.t;
+  obs : Terradir_obs.Obs.t;
+      (** observability sink (shared cluster-wide); read by {!Routing} and
+          {!Replication} so their signatures stay hook-free *)
   speed : float;  (** relative capacity: service times divide by this *)
   hosted : (node_id, hosted) Hashtbl.t;
   neighbor_maps : (node_id, neighbor_ref) Hashtbl.t;
@@ -56,6 +59,9 @@ type t = {
   queue : message Queue.t;  (** bounded query-class FIFO *)
   ctrl_queue : message Queue.t;  (** unbounded, served with priority *)
   mutable serving : bool;
+  mutable obs_busy : bool;
+      (** observability-only: true between the recorded busy/idle edge
+          events; written only while the sink's counters level is on *)
   mutable session : session option;
   mutable session_backoff_until : float;
   mutable last_decay : float;
@@ -71,10 +77,13 @@ val create :
   config:Config.t ->
   tree:Terradir_namespace.Tree.t ->
   ?speed:float ->
+  ?obs:Terradir_obs.Obs.t ->
   rng:Terradir_util.Splitmix.t ->
   unit ->
   t
-(** [speed] defaults to 1.0; must be positive. *)
+(** [speed] defaults to 1.0; must be positive.  [obs] defaults to the
+    disabled sink; the server emits replica-churn and digest events
+    through it and hands it to its cache. *)
 
 val add_owned : t -> node_id -> owner_of:(node_id -> server_id) -> now:float -> unit
 (** Install an owned node at bootstrap; neighbor maps are initialized from

@@ -10,11 +10,20 @@ type 'a t = {
   table : (int, 'a node) Hashtbl.t;
   mutable head : 'a node option; (* most recently used *)
   mutable tail : 'a node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
 }
 
 let create ~capacity =
   if capacity < 0 then invalid_arg "Lru.create: negative capacity";
-  { capacity; table = Hashtbl.create (max 16 capacity); head = None; tail = None }
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
 
 let capacity t = t.capacity
 
@@ -45,8 +54,11 @@ let promote t node =
 
 let find t k =
   match Hashtbl.find_opt t.table k with
-  | None -> None
+  | None ->
+    t.misses <- t.misses + 1;
+    None
   | Some node ->
+    t.hits <- t.hits + 1;
     promote t node;
     Some node.value
 
@@ -91,6 +103,14 @@ let fold t ~init ~f =
 let iter t ~f = fold t ~init:() ~f:(fun () k v -> f k v)
 
 let keys_mru_order t = List.rev (fold t ~init:[] ~f:(fun acc k _ -> k :: acc))
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
 
 let clear t =
   Hashtbl.reset t.table;

@@ -3,7 +3,7 @@
 open Terradir_util
 open Terradir
 
-let mk ?(slots = 4) () = Cache.create ~slots ~r_map:4 ~rng:(Splitmix.create 5)
+let mk ?(slots = 4) () = Cache.create ~slots ~r_map:4 ~rng:(Splitmix.create 5) ()
 
 let map1 server = Node_map.singleton ~server ~stamp:1.0 ()
 

@@ -42,3 +42,11 @@ let keys_again () = Hashtbl.fold (fun k _ acc -> k :: acc) table []
 
 (* lint: wall-clock the timing code below was removed; annotation is stale *)
 let nothing = 0
+
+(* --- obs hook: unannotated record in protocol code, then a justified one --- *)
+
+let hook obs qid = Obs.record obs ~server:0 (Event.Queue_enter { qid; attempt = 0 })
+
+let hook_ok obs qid =
+  (* lint: obs-in-hot-path spans-gated; fires once per enqueue *)
+  Terradir_obs.Obs.record obs ~server:0 (Event.Queue_enter { qid; attempt = 0 })

@@ -21,6 +21,10 @@
                      structural order where a domain order was meant.
      marshal         Marshal.* — output is not stable across compiler
                      versions and happily serializes closures.
+     obs-in-hot-path Obs.record in protocol code.  Every recording site
+                     must carry an annotation naming the level gate and
+                     the event's frequency, so hook growth on the hot
+                     path stays a reviewed decision rather than drift.
 
    Suppression, per-site, with a recorded justification:
 
@@ -47,12 +51,16 @@ let rule_wall_clock = "wall-clock"
 let rule_global_rng = "global-rng"
 let rule_poly_compare = "poly-compare"
 let rule_marshal = "marshal"
+let rule_obs_hot_path = "obs-in-hot-path"
 let rule_bad_annotation = "bad-annotation"
 let rule_unused_suppression = "unused-suppression"
 let rule_parse_error = "parse-error"
 
 let all_rules =
-  [ rule_hashtbl; rule_wall_clock; rule_global_rng; rule_poly_compare; rule_marshal ]
+  [
+    rule_hashtbl; rule_wall_clock; rule_global_rng; rule_poly_compare; rule_marshal;
+    rule_obs_hot_path;
+  ]
 
 module SSet = Set.Make (String)
 
@@ -201,6 +209,13 @@ let lint_source ~path ~source =
     (match lid with
      | Longident.Ldot (Lident "Marshal", fn) ->
        add loc rule_marshal ("Marshal." ^ fn ^ " is unstable across compiler versions; use an explicit codec")
+     | _ -> ());
+    (match lid with
+     | Longident.Ldot (Lident "Obs", "record")
+     | Longident.Ldot (Ldot (_, "Obs"), "record") ->
+       add loc rule_obs_hot_path
+         (name
+        ^ " in protocol code; annotate the level gate and how often the event fires")
      | _ -> ())
   in
   let iterator =

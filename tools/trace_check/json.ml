@@ -1,0 +1,232 @@
+(* Minimal JSON reader — the image carries no JSON library, and the trace
+   checker only needs to read back what the exporter wrote plus enough of
+   the grammar to reject malformed output loudly.  Full RFC 8259 value
+   syntax: objects, arrays, strings with every escape (\uXXXX including
+   surrogate pairs, decoded to UTF-8), numbers, true/false/null.  No
+   streaming: traces of interest fit in memory. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { pos : int; msg : string }
+
+let fail pos msg = raise (Parse_error { pos; msg })
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st.pos (Printf.sprintf "expected '%c'" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos ("expected " ^ word)
+
+let hex_digit pos = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> fail pos "bad \\u escape"
+
+let hex4 st =
+  if st.pos + 4 > String.length st.src then fail st.pos "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v * 16) + hex_digit (st.pos + i) st.src.[st.pos + i]
+  done;
+  st.pos <- st.pos + 4;
+  !v
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | None -> fail st.pos "unterminated escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let cp = hex4 st in
+          if cp >= 0xD800 && cp <= 0xDBFF then begin
+            (* high surrogate: a \uDC00-\uDFFF pair must follow *)
+            expect st '\\';
+            expect st 'u';
+            let lo = hex4 st in
+            if lo < 0xDC00 || lo > 0xDFFF then fail st.pos "unpaired surrogate";
+            add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if cp >= 0xDC00 && cp <= 0xDFFF then fail st.pos "unpaired surrogate"
+          else add_utf8 buf cp
+        | _ -> fail (st.pos - 1) "bad escape character");
+        go ())
+    | Some c when Char.code c < 0x20 -> fail st.pos "raw control character in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let consume_while p =
+    let rec go () =
+      match peek st with
+      | Some c when p c ->
+        advance st;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  if peek st = Some '-' then advance st;
+  consume_while (function '0' .. '9' -> true | _ -> false);
+  if peek st = Some '.' then begin
+    advance st;
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> fail start "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '{' -> parse_object st
+  | Some '[' -> parse_array st
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st.pos (Printf.sprintf "unexpected character '%c'" c)
+
+and parse_object st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let rec go () =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      fields := (key, v) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        go ()
+      | Some '}' -> advance st
+      | _ -> fail st.pos "expected ',' or '}'"
+    in
+    go ();
+    Obj (List.rev !fields)
+  end
+
+and parse_array st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    Arr []
+  end
+  else begin
+    let items = ref [] in
+    let rec go () =
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        go ()
+      | Some ']' -> advance st
+      | _ -> fail st.pos "expected ',' or ']'"
+    in
+    go ();
+    Arr (List.rev !items)
+  end
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then fail st.pos "trailing garbage after JSON value";
+  v
+
+(* ---- accessors ---- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None

@@ -1,0 +1,132 @@
+(* Chrome trace-event shape validator.
+
+   Checks a trace against the subset of the trace-event format that both
+   chrome://tracing and Perfetto require to render it (the format spec is
+   permissive; the *viewers* are not):
+
+   - top level is an object with a "traceEvents" array (the bare-array
+     form is also legal and accepted);
+   - every event is an object with a one-character "ph" and a numeric
+     "pid"; every phase except metadata "M" also needs a numeric "ts" >= 0;
+   - complete events "X" need "dur" >= 0;
+   - nestable async "b"/"e" need a string "id" and "cat", every "e" must
+     follow a matching "b" (file order), and every (cat, id) key must end
+     balanced — an unmatched pair renders as an open-ended smear;
+   - instants "i" with a scope "s" must use a known scope (t/p/g).
+
+   Used by test/test_obs.ml on in-process traces and by the CI trace-smoke
+   job on a trace written by terradir_sim --trace. *)
+
+type stats = {
+  events : int;  (** total events, metadata included *)
+  by_phase : (string * int) list;  (** phase -> count, sorted by phase *)
+  tracks : int;  (** distinct (pid, tid) pairs *)
+  async_pairs : int;  (** balanced nestable-async (cat, id) keys *)
+}
+
+let known_phases =
+  [ "B"; "E"; "X"; "i"; "I"; "b"; "e"; "n"; "s"; "t"; "f"; "M"; "C"; "P" ]
+
+let validate_json json =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let by_phase : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let tracks : (float * float, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* (cat, id) -> open "b" count; every key touched stays in the table so
+     balanced pairs can be counted at the end *)
+  let async_open : (string * string, int) Hashtbl.t = Hashtbl.create 256 in
+  let check_event i ev =
+    match ev with
+    | Json.Obj _ -> (
+      let num key = Option.bind (Json.member key ev) Json.to_float in
+      let str key = Option.bind (Json.member key ev) Json.to_string in
+      match str "ph" with
+      | None -> err "event %d: missing string \"ph\"" i
+      | Some ph ->
+        Hashtbl.replace by_phase ph (1 + Option.value ~default:0 (Hashtbl.find_opt by_phase ph));
+        if not (List.mem ph known_phases) then err "event %d: unknown phase %S" i ph;
+        (match num "pid" with
+        | None -> err "event %d (ph %s): missing numeric \"pid\"" i ph
+        | Some pid ->
+          let tid = Option.value ~default:0.0 (num "tid") in
+          if tid < 0.0 then err "event %d (ph %s): negative tid" i ph;
+          Hashtbl.replace tracks (pid, tid) ());
+        (match num "ts" with
+        | Some ts when ts < 0.0 -> err "event %d (ph %s): negative ts" i ph
+        | Some _ -> ()
+        | None -> if ph <> "M" then err "event %d (ph %s): missing numeric \"ts\"" i ph);
+        (match ph with
+        | "X" -> (
+          match num "dur" with
+          | None -> err "event %d: complete event without numeric \"dur\"" i
+          | Some d when d < 0.0 -> err "event %d: negative \"dur\"" i
+          | Some _ -> ())
+        | "b" | "e" -> (
+          match (str "cat", str "id") with
+          | Some cat, Some id ->
+            let key = (cat, id) in
+            let open_count = Option.value ~default:0 (Hashtbl.find_opt async_open key) in
+            if ph = "b" then Hashtbl.replace async_open key (open_count + 1)
+            else if open_count = 0 then
+              err "event %d: \"e\" for (%s, %s) with no open \"b\"" i cat id
+            else Hashtbl.replace async_open key (open_count - 1)
+          | _ -> err "event %d: nestable async %S without string \"cat\" and \"id\"" i ph)
+        | "i" -> (
+          match str "s" with
+          | Some ("t" | "p" | "g") | None -> ()
+          | Some s -> err "event %d: instant with unknown scope %S" i s)
+        | _ -> ()))
+    | _ -> err "event %d: not an object" i
+  in
+  let events =
+    match json with
+    | Json.Arr evs -> Some evs
+    | Json.Obj _ -> (
+      match Json.member "traceEvents" json with
+      | Some (Json.Arr evs) -> Some evs
+      | Some _ ->
+        err "\"traceEvents\" is not an array";
+        None
+      | None ->
+        err "top-level object has no \"traceEvents\"";
+        None)
+    | _ ->
+      err "top level is neither an object nor an array";
+      None
+  in
+  let n_events =
+    match events with
+    | None -> 0
+    | Some evs ->
+      List.iteri check_event evs;
+      List.length evs
+  in
+  Hashtbl.fold
+    (fun (cat, id) open_count acc ->
+      if open_count > 0 then
+        Printf.sprintf "unclosed nestable async pair (%s, %s): %d \"b\" without \"e\"" cat id
+          open_count
+        :: acc
+      else acc)
+    async_open []
+  |> List.sort String.compare
+  |> List.iter (fun m -> errors := m :: !errors);
+  match !errors with
+  | [] ->
+    Ok
+      {
+        events = n_events;
+        by_phase =
+          List.sort
+            (fun (a, _) (b, _) -> String.compare a b)
+            (Hashtbl.fold (fun k n acc -> (k, n) :: acc) by_phase []);
+        tracks = Hashtbl.length tracks;
+        async_pairs = Hashtbl.length async_open;
+      }
+  | errs -> Error (List.rev errs)
+
+let validate source =
+  match Json.parse source with
+  | json -> validate_json json
+  | exception Json.Parse_error { pos; msg } ->
+    Error [ Printf.sprintf "JSON parse error at byte %d: %s" pos msg ]
