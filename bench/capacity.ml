@@ -1,0 +1,108 @@
+(* Capacity macro-benchmark harness: one large Experiments.Capacity run
+   plus the host-side measurements the simulator itself cannot take —
+   wall-clock throughput (engine events per second), peak RSS (VmHWM from
+   /proc/self/status), and GC totals.
+
+   Defaults reproduce the headline scenario: 100 000 servers, an expected
+   2 000 000 queries.  Override with
+
+     TERRADIR_CAP_SERVERS  deployment size            (default 100000)
+     TERRADIR_CAP_QUERIES  expected query count       (default 2000000)
+     TERRADIR_CAP_SEED     simulation seed            (default 42)
+     TERRADIR_CAP_OUT      report path                (default BENCH_results.json)
+
+   The report is schema v2 (see EXPERIMENTS.md): the simulation fields are
+   deterministic per (servers, queries, seed); wall_s / events_per_sec /
+   peak_rss_kb / gc are measurements of this process. *)
+
+module E = Terradir_experiments
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+
+let servers = getenv_int "TERRADIR_CAP_SERVERS" E.Capacity.reference_servers
+
+let queries = getenv_int "TERRADIR_CAP_QUERIES" E.Capacity.reference_queries
+
+let seed = getenv_int "TERRADIR_CAP_SEED" 42
+
+let out_file =
+  match Sys.getenv_opt "TERRADIR_CAP_OUT" with Some f -> f | None -> "BENCH_results.json"
+
+(* Linux-specific; [None] elsewhere (the report then omits the field's
+   meaningfulness by reporting 0). *)
+let peak_rss_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception _ -> None
+  | body ->
+    List.find_map
+      (fun line ->
+        match String.index_opt line ':' with
+        | Some i when String.sub line 0 i = "VmHWM" ->
+          let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          let digits =
+            match String.index_opt rest ' ' with
+            | Some j -> String.sub rest 0 j
+            | None -> rest
+          in
+          int_of_string_opt digits
+        | _ -> None)
+      (String.split_on_char '\n' body)
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let write_report (r : E.Capacity.result) ~wall_s ~events_per_sec ~rss_kb ~(gc : Gc.stat) =
+  let oc = open_out out_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 2,\n\
+    \  \"seed\": %d,\n\
+    \  \"capacity\": {\n\
+    \    \"servers\": %d,\n\
+    \    \"nodes\": %d,\n\
+    \    \"rate_qps\": %s,\n\
+    \    \"sim_duration_s\": %s,\n\
+    \    \"events_executed\": %d,\n\
+    \    \"injected\": %d,\n\
+    \    \"resolved\": %d,\n\
+    \    \"dropped\": %d,\n\
+    \    \"drop_fraction\": %s,\n\
+    \    \"mean_hops\": %s,\n\
+    \    \"mean_latency_s\": %s,\n\
+    \    \"replicas_created\": %d,\n\
+    \    \"wall_s\": %s,\n\
+    \    \"events_per_sec\": %s,\n\
+    \    \"peak_rss_kb\": %d,\n\
+    \    \"gc\": { \"minor_words\": %s, \"major_words\": %s, \"minor_collections\": %d, \"major_collections\": %d, \"compactions\": %d, \"top_heap_words\": %d }\n\
+    \  }\n\
+     }\n"
+    seed r.E.Capacity.servers r.E.Capacity.nodes
+    (json_float r.E.Capacity.rate)
+    (json_float r.E.Capacity.sim_duration)
+    r.E.Capacity.events r.E.Capacity.injected r.E.Capacity.resolved r.E.Capacity.dropped
+    (json_float r.E.Capacity.drop_fraction)
+    (json_float r.E.Capacity.mean_hops)
+    (json_float r.E.Capacity.mean_latency)
+    r.E.Capacity.replicas_created (json_float wall_s) (json_float events_per_sec) rss_kb
+    (json_float gc.Gc.minor_words) (json_float gc.Gc.major_words) gc.Gc.minor_collections
+    gc.Gc.major_collections gc.Gc.compactions gc.Gc.top_heap_words;
+  close_out oc;
+  Printf.printf "Report written to %s\n" out_file
+
+let () =
+  Printf.printf "TerraDir capacity benchmark: %d servers, ~%d queries, seed %d\n%!" servers
+    queries seed;
+  let t0 = Unix.gettimeofday () in
+  let r = E.Capacity.run ~servers ~queries ~seed () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let gc = Gc.quick_stat () in
+  let rss_kb = match peak_rss_kb () with Some kb -> kb | None -> 0 in
+  let events_per_sec = if wall_s > 0.0 then float_of_int r.E.Capacity.events /. wall_s else 0.0 in
+  E.Capacity.print r;
+  Printf.printf "wall: %.1fs   events/sec: %.0f   peak RSS: %d kB\n%!" wall_s events_per_sec
+    rss_kb;
+  write_report r ~wall_s ~events_per_sec ~rss_kb ~gc

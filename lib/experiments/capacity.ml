@@ -1,0 +1,131 @@
+open Terradir
+open Terradir_namespace
+open Terradir_workload
+
+(* Capacity macro-benchmark: how large a deployment the simulator sustains.
+
+   Unlike the figure experiments, the scenario is sized in queries rather
+   than simulated seconds, and the injection rate is ANALYTIC — no
+   calibration probe.  A probe at 100k servers would cost as much as the
+   measurement itself; instead the rate is derived from the quantities the
+   probe would estimate: each resolved query occupies roughly
+   [est_hops × service_mean] seconds of aggregate server time, so
+
+     rate = ρ · S / (service_mean · est_hops)
+
+   targets per-server utilization ρ directly.  [est_hops] is the
+   ascend-plus-descend routing bound [2·mean_depth + 1] — a deliberate
+   overestimate once caches warm, which keeps the realized MEAN
+   utilization under the target.  The hierarchy is still a hierarchy: at
+   full scale the handful of servers owning the top of the tree saturate
+   transiently until path caches and soft-state replicas absorb them, so
+   a visible drop fraction at 100k servers is expected protocol behavior,
+   not a mis-sized rate — the benchmark measures engine throughput
+   (events/sec), which drops do not distort. *)
+
+type result = {
+  servers : int;
+  nodes : int;
+  rate : float;  (** analytic injection rate, queries/s *)
+  sim_duration : float;  (** simulated seconds driven *)
+  events : int;  (** engine events executed *)
+  injected : int;
+  resolved : int;
+  dropped : int;
+  drop_fraction : float;
+  mean_hops : float;
+  mean_latency : float;
+  replicas_created : int;
+}
+
+let reference_servers = 100_000
+
+(* 2.1M expected: arrivals are Poisson, so the realized count fluctuates
+   ~±0.1% around the expectation — the margin keeps a full-scale run
+   safely above the two-million-query mark. *)
+let reference_queries = 2_100_000
+
+let target_utilization = 0.5
+
+let log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+(* Fig. 9's size-dependent knobs (cache and map sizes grow
+   logarithmically), plus the calendar-queue scheduler — at capacity scale
+   the heap's O(log n) pops dominate the engine, and scheduler choice is
+   behavior-neutral by construction. *)
+let config_for ~servers ~seed =
+  let log2s = log2i servers in
+  {
+    Config.default with
+    Config.num_servers = servers;
+    placement = Config.Round_robin;
+    cache_slots = max 4 ((2 * log2s) - 2);
+    r_map = max 2 (log2s - 2);
+    scheduler = `Calendar;
+    seed;
+  }
+
+let run ?servers ?queries ?(scale = 1.0 /. 16.0) ?(seed = 42) () =
+  if scale <= 0.0 || scale > 1.0 then invalid_arg "Capacity.run: scale must be in (0, 1]";
+  let servers =
+    match servers with
+    | Some s when s >= 8 -> s
+    | Some _ -> invalid_arg "Capacity.run: servers must be >= 8"
+    | None -> max 8 (int_of_float (Float.round (float_of_int reference_servers *. scale)))
+  in
+  let queries =
+    match queries with
+    | Some q when q >= 1 -> q
+    | Some _ -> invalid_arg "Capacity.run: queries must be >= 1"
+    | None -> max 1000 (int_of_float (Float.round (float_of_int reference_queries *. scale)))
+  in
+  let config = config_for ~servers ~seed in
+  (* ~8 nodes per server, as in the N_S experiments. *)
+  let levels = max 3 (log2i (8 * servers)) in
+  let tree = Build.balanced ~arity:2 ~levels in
+  let est_hops = (2.0 *. Common.mean_depth tree) +. 1.0 in
+  let rate =
+    target_utilization *. float_of_int servers /. (config.Config.service_mean *. est_hops)
+  in
+  let sim_duration = float_of_int queries /. rate in
+  let cluster = Cluster.create ~config ~tree () in
+  Scenario.run cluster ~phases:(Stream.unif ~rate ~duration:sim_duration) ~seed:(seed + 1009);
+  Runner.record_events cluster;
+  let m = cluster.Cluster.metrics in
+  {
+    servers;
+    nodes = Tree.size tree;
+    rate;
+    sim_duration;
+    events = Terradir_sim.Engine.events_executed cluster.Cluster.engine;
+    injected = m.Metrics.injected;
+    resolved = m.Metrics.resolved;
+    dropped = Metrics.dropped_total m;
+    drop_fraction = Metrics.drop_fraction m;
+    mean_hops = Terradir_util.Stats.mean m.Metrics.hops;
+    mean_latency = Terradir_util.Stats.mean m.Metrics.latency;
+    replicas_created = m.Metrics.replicas_created;
+  }
+
+let rows r =
+  [
+    ("servers", string_of_int r.servers);
+    ("nodes", string_of_int r.nodes);
+    ("rate_qps", Printf.sprintf "%.4f" r.rate);
+    ("sim_duration_s", Printf.sprintf "%.4f" r.sim_duration);
+    ("events", string_of_int r.events);
+    ("injected", string_of_int r.injected);
+    ("resolved", string_of_int r.resolved);
+    ("dropped", string_of_int r.dropped);
+    ("drop_fraction", Printf.sprintf "%.6f" r.drop_fraction);
+    ("mean_hops", Printf.sprintf "%.4f" r.mean_hops);
+    ("mean_latency_s", Printf.sprintf "%.6f" r.mean_latency);
+    ("replicas_created", string_of_int r.replicas_created);
+  ]
+
+let print r =
+  print_endline "Capacity — macro throughput scenario (unif stream, analytic rate)";
+  Terradir_util.Tablefmt.print ~header:[ "metric"; "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) (rows r))

@@ -164,6 +164,11 @@ let hetero ?scale ?seed dir =
       (table_csv ~header:[ "spread"; "system"; "drop_fraction"; "latency_s"; "mean_max_load" ] rows);
   ]
 
+let capacity ?scale ?seed dir =
+  let r = Capacity.run ?scale ?seed () in
+  let rows = List.map (fun (k, v) -> [ k; v ]) (Capacity.rows r) in
+  [ write_file dir "capacity.csv" (table_csv ~header:[ "metric"; "value" ] rows) ]
+
 let exporters =
   [
     ("fig3", fig3);
@@ -176,6 +181,7 @@ let exporters =
     ("rfact", rfact);
     ("ablations", ablations);
     ("hetero", hetero);
+    ("capacity", capacity);
   ]
 
 let exportable = List.map fst exporters

@@ -63,6 +63,12 @@ let all =
       title = "par. 5 claim: exploiting server heterogeneity";
       run = (fun ?scale ?duration ?seed () -> Hetero.print (Hetero.run ?scale ?duration ?seed ()));
     };
+    {
+      id = "capacity";
+      title = "capacity: macro throughput at scale (analytic rate)";
+      (* Sized in queries, not seconds — duration does not apply. *)
+      run = (fun ?scale ?duration:_ ?seed () -> Capacity.print (Capacity.run ?scale ?seed ()));
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -102,9 +102,9 @@ let coda_like ?(seed = 1993) ~target () =
 let of_paths paths =
   let b = Tree.Builder.create () in
   let interned = Hashtbl.create 256 in
-  Hashtbl.add interned "/" Tree.root;
+  Hashtbl.add interned (Name.id Name.root) Tree.root;
   let rec intern name =
-    let key = Name.to_string name in
+    let key = Name.id name in
     match Hashtbl.find_opt interned key with
     | Some id -> id
     | None ->

@@ -1,75 +1,157 @@
-type t = string list
-(* Components in root-first order; the canonical-form invariant (no empty
-   component, no '/') is enforced by all constructors. *)
+(* Interned (hash-consed) names.
 
-let root = []
+   A name is a dense integer id into a process-global intern table; the
+   root is id 0 and every other id records (parent id, last component,
+   depth).  Two structurally equal names always intern to the same id, so
+   equality is one int comparison and hashing is the identity — the string
+   form is materialized only on demand ([to_string]).
+
+   Ids are assigned in interning order, which depends on construction
+   order (and, under multi-domain experiment fan-out, on scheduling).
+   Nothing may therefore *order* on ids or persist them: [compare] stays
+   lexicographic over components, exactly the pre-interning semantics, and
+   the qcheck equivalence suite in test/test_interning.ml holds every
+   operation to the old string-list reference implementation.
+
+   Concurrency: interning happens under [lock]; readers go through an
+   immutable snapshot published via [Atomic].  Slots below a snapshot's
+   [count] are frozen (written before the snapshot was published), so
+   lock-free reads of any id obtained from a completed intern are safe. *)
+
+type t = int
+
+let root = 0
+
+type table = {
+  parents : int array; (* id -> parent id; root -> -1 *)
+  components : string array; (* id -> last component; "" for root *)
+  depths : int array;
+  count : int;
+}
+
+let published =
+  Atomic.make { parents = [| -1 |]; components = [| "" |]; depths = [| 0 |]; count = 1 }
+
+let lock = Mutex.create ()
+
+(* (parent id, component) -> id; only touched under [lock]. *)
+let child_ids : (int * string, int) Hashtbl.t = Hashtbl.create 1024
+
+let interned_count () = (Atomic.get published).count
 
 let check_component c =
   if c = "" then invalid_arg "Name: empty component";
   if String.contains c '/' then invalid_arg "Name: component contains '/'"
 
+(* Must be called with [lock] held. *)
+let intern_child parent c =
+  match Hashtbl.find_opt child_ids (parent, c) with
+  | Some id -> id
+  | None ->
+    let tbl = Atomic.get published in
+    let id = tbl.count in
+    let capacity = Array.length tbl.parents in
+    let tbl =
+      if id < capacity then tbl
+      else begin
+        let grow a fill =
+          let fresh = Array.make (2 * capacity) fill in
+          Array.blit a 0 fresh 0 capacity;
+          fresh
+        in
+        {
+          parents = grow tbl.parents (-1);
+          components = grow tbl.components "";
+          depths = grow tbl.depths 0;
+          count = tbl.count;
+        }
+      end
+    in
+    (* Write the slot, then publish: a reader can only hold id [n] after
+       the intern that produced it returned, which ordered these writes
+       before the [Atomic.set] it observed. *)
+    tbl.parents.(id) <- parent;
+    tbl.components.(id) <- c;
+    tbl.depths.(id) <- tbl.depths.(parent) + 1;
+    Atomic.set published { tbl with count = id + 1 };
+    Hashtbl.add child_ids (parent, c) id;
+    id
+
 let of_components cs =
   List.iter check_component cs;
-  cs
+  Mutex.protect lock (fun () -> List.fold_left intern_child root cs)
 
 let of_string s =
-  String.split_on_char '/' s |> List.filter (fun c -> c <> "")
-
-let to_string = function
-  | [] -> "/"
-  | cs -> "/" ^ String.concat "/" cs
-
-let components t = t
+  let cs = String.split_on_char '/' s |> List.filter (fun c -> c <> "") in
+  Mutex.protect lock (fun () -> List.fold_left intern_child root cs)
 
 let child t c =
   check_component c;
-  t @ [ c ]
+  Mutex.protect lock (fun () -> intern_child t c)
 
-let parent = function
-  | [] -> None
-  | cs ->
-    let rec drop_last = function
-      | [] -> assert false
-      | [ _ ] -> []
-      | c :: rest -> c :: drop_last rest
+let id t = t
+
+let hash t = t
+
+let equal (a : t) (b : t) = a = b
+
+let depth t = (Atomic.get published).depths.(t)
+
+let parent t = if t = root then None else Some (Atomic.get published).parents.(t)
+
+let basename t = if t = root then None else Some (Atomic.get published).components.(t)
+
+let components t =
+  let tbl = Atomic.get published in
+  let rec go acc v = if v = root then acc else go (tbl.components.(v) :: acc) tbl.parents.(v) in
+  go [] t
+
+let to_string t =
+  if t = root then "/"
+  else begin
+    let tbl = Atomic.get published in
+    let rec len acc v =
+      if v = root then acc else len (acc + 1 + String.length tbl.components.(v)) tbl.parents.(v)
     in
-    Some (drop_last cs)
+    let buf = Buffer.create (len 0 t) in
+    let rec emit v =
+      if v <> root then begin
+        emit tbl.parents.(v);
+        Buffer.add_char buf '/';
+        Buffer.add_string buf tbl.components.(v)
+      end
+    in
+    emit t;
+    Buffer.contents buf
+  end
 
-let basename = function
-  | [] -> None
-  | cs -> Some (List.nth cs (List.length cs - 1))
+(* Lexicographic over components, root-first — identical to the historical
+   string-list representation's [List.compare String.compare]. *)
+let compare a b = List.compare String.compare (components a) (components b)
 
-let depth = List.length
+let rec lift tbl v target_depth =
+  if tbl.depths.(v) > target_depth then lift tbl tbl.parents.(v) target_depth else v
 
-let rec is_ancestor a b =
-  match (a, b) with
-  | [], _ -> true
-  | _, [] -> false
-  | x :: a', y :: b' -> String.equal x y && is_ancestor a' b'
+let is_ancestor a b =
+  let tbl = Atomic.get published in
+  tbl.depths.(a) <= tbl.depths.(b) && lift tbl b tbl.depths.(a) = a
 
 let ancestors t =
+  let tbl = Atomic.get published in
   (* Walk up through parents: nearest ancestor first, root last. *)
-  let rec go acc cur =
-    match parent cur with
-    | None -> List.rev acc
-    | Some p -> go (p :: acc) p
-  in
+  let rec go acc v = if v = root then List.rev acc else go (tbl.parents.(v) :: acc) tbl.parents.(v) in
   go [] t
 
 let lowest_common_ancestor a b =
-  let rec go acc a b =
-    match (a, b) with
-    | x :: a', y :: b' when String.equal x y -> go (x :: acc) a' b'
-    | _ -> List.rev acc
-  in
-  go [] a b
+  let tbl = Atomic.get published in
+  let d = min tbl.depths.(a) tbl.depths.(b) in
+  let a = lift tbl a d and b = lift tbl b d in
+  let rec go a b = if a = b then a else go tbl.parents.(a) tbl.parents.(b) in
+  go a b
 
 let distance a b =
+  let tbl = Atomic.get published in
   let l = lowest_common_ancestor a b in
-  depth a + depth b - (2 * depth l)
-
-let equal a b = List.equal String.equal a b
-
-let compare a b = List.compare String.compare a b
+  tbl.depths.(a) + tbl.depths.(b) - (2 * tbl.depths.(l))
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -5,7 +5,11 @@
     components; the empty list is the root ["/"]. *)
 
 type t
-(** Immutable; structural equality and ordering are meaningful. *)
+(** Immutable and interned: every distinct name is held once in a
+    process-global hash-consing table and [t] is its dense integer id, so
+    [equal] is one int comparison and [hash] is the identity.  [compare]
+    remains lexicographic over components (not id order), preserving the
+    semantics of the historical string-list representation. *)
 
 val root : t
 
@@ -51,5 +55,19 @@ val distance : t -> t -> int
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
+(** Lexicographic over components, root-first — NOT id order.  Ids are
+    assigned in interning order, which is construction- (and under domain
+    fan-out, scheduling-) dependent; nothing deterministic may sort on
+    them. *)
+
+val id : t -> int
+(** Dense intern id (root is 0).  Stable for the life of the process only:
+    never persist an id or let output ordering depend on it. *)
+
+val hash : t -> int
+(** [hash t = id t]; suitable for [Hashtbl] keys. *)
+
+val interned_count : unit -> int
+(** Number of distinct names interned so far (≥ 1: the root). *)
 
 val pp : Format.formatter -> t -> unit

@@ -6,7 +6,8 @@ type t = {
   children : int array array;
   neighbors : int list array; (* id -> parent :: children, precomputed *)
   depth : int array;
-  by_path : (string, int) Hashtbl.t; (* canonical full path -> id *)
+  name_of : Name.t array; (* id -> interned name, O(1) lookup *)
+  by_name : (int, int) Hashtbl.t; (* Name.id -> id; lookup only, never iterated *)
   max_depth : int;
 }
 
@@ -20,8 +21,9 @@ module Builder = struct
     mutable parents : int array;
     mutable kids : int list array; (* reverse insertion order *)
     mutable depths : int array;
+    mutable names : Name.t array; (* interned name per node *)
     mutable count : int;
-    paths : (string, int) Hashtbl.t;
+    by_name : (int, int) Hashtbl.t; (* Name.id -> node id *)
     mutable sealed : bool;
   }
 
@@ -32,12 +34,13 @@ module Builder = struct
         parents = Array.make 16 (-1);
         kids = Array.make 16 [];
         depths = Array.make 16 0;
+        names = Array.make 16 Name.root;
         count = 1;
-        paths = Hashtbl.create 256;
+        by_name = Hashtbl.create 256;
         sealed = false;
       }
     in
-    Hashtbl.add b.paths "/" 0;
+    Hashtbl.add b.by_name (Name.id Name.root) 0;
     b
 
   let check_alive b op = if b.sealed then invalid_arg ("Tree.Builder." ^ op ^ ": builder is sealed")
@@ -55,29 +58,26 @@ module Builder = struct
       b.comps <- grow b.comps "";
       b.parents <- grow b.parents (-1);
       b.kids <- grow b.kids [];
-      b.depths <- grow b.depths 0
+      b.depths <- grow b.depths 0;
+      b.names <- grow b.names Name.root
     end
-
-  let path_of b id =
-    let rec go acc id = if id = 0 then acc else go ("/" ^ b.comps.(id) ^ acc) b.parents.(id) in
-    match go "" id with "" -> "/" | p -> p
 
   let add_child b parent component =
     check_alive b "add_child";
     if parent < 0 || parent >= b.count then invalid_arg "Tree.Builder.add_child: bad parent id";
     if component = "" || String.contains component '/' then
       invalid_arg "Tree.Builder.add_child: invalid component";
-    let parent_path = path_of b parent in
-    let path = (if parent_path = "/" then "" else parent_path) ^ "/" ^ component in
-    if Hashtbl.mem b.paths path then invalid_arg "Tree.Builder.add_child: duplicate child";
+    let name = Name.child b.names.(parent) component in
+    if Hashtbl.mem b.by_name (Name.id name) then invalid_arg "Tree.Builder.add_child: duplicate child";
     ensure b;
     let id = b.count in
     b.count <- id + 1;
     b.comps.(id) <- component;
     b.parents.(id) <- parent;
     b.depths.(id) <- b.depths.(parent) + 1;
+    b.names.(id) <- name;
     b.kids.(parent) <- id :: b.kids.(parent);
-    Hashtbl.add b.paths path id;
+    Hashtbl.add b.by_name (Name.id name) id;
     id
 
   let freeze b =
@@ -101,7 +101,8 @@ module Builder = struct
       children;
       neighbors;
       depth;
-      by_path = b.paths;
+      name_of = Array.sub b.names 0 n;
+      by_name = b.by_name;
       max_depth;
     }
 end
@@ -113,8 +114,7 @@ let check_node t v op =
 
 let name t v =
   check_node t v "name";
-  let rec go acc v = if v = 0 then acc else go (t.component.(v) :: acc) t.parent.(v) in
-  Name.of_components (go [] v)
+  t.name_of.(v)
 
 let name_string t v = Name.to_string (name t v)
 
@@ -138,9 +138,9 @@ let neighbors t v =
   check_node t v "neighbors";
   t.neighbors.(v)
 
-let find t n = Hashtbl.find_opt t.by_path (Name.to_string n)
+let find t n = Hashtbl.find_opt t.by_name (Name.id n)
 
-let find_string t s = Hashtbl.find_opt t.by_path (Name.to_string (Name.of_string s))
+let find_string t s = find t (Name.of_string s)
 
 let rec lift t v target_depth = if t.depth.(v) > target_depth then lift t t.parent.(v) target_depth else v
 

@@ -1,7 +1,14 @@
 open Terradir_util
 
+(* The event queue comes in two interchangeable flavors: the binary heap
+   (default) and the calendar queue (O(1) expected at steady state, for
+   capacity-scale runs).  Both pop in identical (timestamp, insertion)
+   order, so the choice is performance-only — test/test_interning.ml holds
+   them to byte-identical pop sequences. *)
+type queue = Heap of (unit -> unit) Pqueue.t | Calendar of (unit -> unit) Calqueue.t
+
 type t = {
-  queue : (unit -> unit) Pqueue.t;
+  queue : queue;
   mutable clock : float;
   mutable executed : int;
   mutable observers : (int * (unit -> unit)) list;
@@ -10,23 +17,37 @@ type t = {
           one *)
 }
 
-let create () = { queue = Pqueue.create (); clock = 0.0; executed = 0; observers = [] }
+let create ?(scheduler = `Heap) () =
+  let queue =
+    match scheduler with `Heap -> Heap (Pqueue.create ()) | `Calendar -> Calendar (Calqueue.create ())
+  in
+  { queue; clock = 0.0; executed = 0; observers = [] }
 
 let now t = t.clock
+
+let enqueue t time f =
+  match t.queue with Heap q -> Pqueue.add q time f | Calendar q -> Calqueue.add q time f
 
 let schedule_at t time f =
   if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
   if time < t.clock then invalid_arg "Engine.schedule_at: scheduling into the past";
-  Pqueue.add t.queue time f
+  enqueue t time f
 
 let schedule t ~delay f =
   if not (Float.is_finite delay) || delay < 0.0 then
     invalid_arg "Engine.schedule: negative or non-finite delay";
-  Pqueue.add t.queue (t.clock +. delay) f
+  enqueue t (t.clock +. delay) f
 
-let pending t = Pqueue.length t.queue
+let pending t = match t.queue with Heap q -> Pqueue.length q | Calendar q -> Calqueue.length q
 
-let next_time t = Option.map fst (Pqueue.min t.queue)
+let queue_empty t = match t.queue with Heap q -> Pqueue.is_empty q | Calendar q -> Calqueue.is_empty q
+
+(* Undefined when empty; callers check [queue_empty] first. *)
+let queue_top_key t = match t.queue with Heap q -> Pqueue.top_key q | Calendar q -> Calqueue.top_key q
+
+let queue_pop_exn t = match t.queue with Heap q -> Pqueue.pop_exn q | Calendar q -> Calqueue.pop_exn q
+
+let next_time t = if queue_empty t then None else Some (queue_top_key t)
 
 let add_observer t ~every f =
   if every < 1 then invalid_arg "Engine.add_observer: every must be >= 1";
@@ -39,9 +60,10 @@ let set_observer t ~every f =
 let clear_observer t = t.observers <- []
 
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
+  if queue_empty t then false
+  else begin
+    let time = queue_top_key t in
+    let f = queue_pop_exn t in
     t.clock <- time;
     t.executed <- t.executed + 1;
     f ();
@@ -50,6 +72,7 @@ let step t =
     | observers ->
       List.iter (fun (every, obs) -> if t.executed mod every = 0 then obs ()) observers);
     true
+  end
 
 let run ?until t =
   match until with
@@ -58,9 +81,8 @@ let run ?until t =
     if stop < t.clock then invalid_arg "Engine.run: until is in the past";
     let continue = ref true in
     while !continue do
-      match Pqueue.min t.queue with
-      | Some (time, _) when time <= stop -> ignore (step t)
-      | Some _ | None -> continue := false
+      if (not (queue_empty t)) && queue_top_key t <= stop then ignore (step t)
+      else continue := false
     done;
     t.clock <- stop
 

@@ -326,9 +326,12 @@ and append_path_entry t s q =
     match Server.find_hosted s q.target with
     | Some h ->
       q.path <- (q.target, h.Server.h_map) :: q.path;
+      q.path_len <- q.path_len + 1;
       (* Bound piggyback size, keeping the newest entries. *)
-      if List.length q.path > path_cap then
-        q.path <- List.filteri (fun i _ -> i < path_cap) q.path
+      if q.path_len > path_cap then begin
+        q.path <- List.filteri (fun i _ -> i < path_cap) q.path;
+        q.path_len <- path_cap
+      end
     | None -> ()
 
 and process_query ?from t s q =
@@ -372,6 +375,7 @@ and process_query ?from t s q =
     (match Server.find_hosted s q.dst with
     | Some h ->
       q.path <- (q.dst, h.Server.h_map) :: q.path;
+      q.path_len <- q.path_len + 1;
       (* the lookup's result: the destination's map and meta-data *)
       q.result_map <- h.Server.h_map;
       q.result_meta <- h.Server.h_meta_version
@@ -647,7 +651,7 @@ let place_owners config tree rng =
 let create ?(monitor = true) ?(obs = Obs.null) ~config ~tree () =
   Config.validate config;
   let rng = Splitmix.create config.Config.seed in
-  let engine = Engine.create () in
+  let engine = Engine.create ~scheduler:config.Config.scheduler () in
   (* The sink reads simulation time through this closure; a null sink
      ignores it (shared across clusters and domains). *)
   Obs.set_clock obs (fun () -> Engine.now engine);
@@ -818,6 +822,7 @@ let start_query_attempt t qid ctx =
       hops = 0;
       target = ctx.qc_dst;
       path = [];
+      path_len = 0;
       shortcut_hops = 0;
       best_dist = max_int;
       stale_forwards = 0;

@@ -39,6 +39,7 @@ type t = {
   oracle_maps : bool;
   audit : bool;
   audit_every : int;
+  scheduler : [ `Heap | `Calendar ];
   seed : int;
 }
 
@@ -84,6 +85,7 @@ let default =
     oracle_maps = false;
     audit = false;
     audit_every = 10_000;
+    scheduler = `Heap;
     seed = 42;
   }
 

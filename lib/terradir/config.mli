@@ -102,6 +102,11 @@ type t = {
           switched on (for any config) by the TERRADIR_AUDIT environment
           variable or the CLI's [--audit] flag *)
   audit_every : int;  (** auditor cadence, in executed engine events *)
+  scheduler : [ `Heap | `Calendar ];
+      (** event-queue implementation for the engine: [`Heap] (default) is
+          the binary heap, [`Calendar] the calendar queue — O(1) expected
+          add/pop at steady state, preferred for capacity-scale runs.
+          Pop order is identical either way; the knob is performance-only *)
   seed : int;
 }
 

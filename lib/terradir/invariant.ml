@@ -150,13 +150,25 @@ let check_server t ~now (s : Server.t) =
       | Server.Owned -> incr owned
       | Server.Replicated -> incr replicas);
       check_map t ~now ~server ~r_map ~what:"hosted" node h.Server.h_map;
-      (* Self-presence is guaranteed only for owned nodes, whose self entry
-         carries the owner flag and so is pinned through every merge and
-         truncation.  A replica's non-owner self entry can be legitimately
-         truncated out of a full map (small r_map keeps owners first). *)
-      if h.Server.h_kind = Server.Owned && not (Node_map.mem h.Server.h_map server) then
-        add t ~now ~server "self-missing"
-          (Printf.sprintf "owned node %d's map does not list this server" node);
+      (* Self-presence holds for every hosted node: owned self entries
+         carry the owner flag (pinned through every merge/truncation), and
+         replica self entries go through [Node_map.add_pinned], which
+         survives truncation by displacing the lowest-priority non-owner.
+         The one remaining exception: owners alone fill the map (r_map
+         owner entries) — pinning never displaces an owner, so a replica's
+         non-owner self entry genuinely cannot fit. *)
+      (if not (Node_map.mem h.Server.h_map server) then
+         let owners_fill_map =
+           Node_map.size h.Server.h_map >= r_map
+           && List.for_all
+                (fun (e : Node_map.entry) -> e.Node_map.is_owner)
+                (Node_map.entries h.Server.h_map)
+         in
+         if h.Server.h_kind = Server.Owned || not owners_fill_map then
+           add t ~now ~server "self-missing"
+             (Printf.sprintf "%s node %d's map does not list this server"
+                (match h.Server.h_kind with Server.Owned -> "owned" | Server.Replicated -> "replica")
+                node));
       List.iter
         (fun nb ->
           if (not (Hashtbl.mem s.Server.neighbor_maps nb)) && not (Server.hosts s nb) then

@@ -75,6 +75,35 @@ let add ~max t entry =
   if max < 1 then invalid_arg "Node_map.of_entries: max must be >= 1";
   take max (add_entry t entry)
 
+(* [add] with a survival guarantee: the added server's entry is never
+   truncated out.  Needed for a host's own entry — the map a host
+   advertises must include itself, but a plain [add] of a non-owner self
+   entry can lose it to truncation when [max] same-or-newer entries sort
+   first (owners pinned ahead, equal stamps broken by lower server id).
+   When the entry falls past the cut, the lowest-priority kept non-owner
+   is evicted in its favor; if every kept entry is an owner (only possible
+   once owners alone fill the map), the map is returned untruncated of
+   owners — owners are never displaced. *)
+let add_pinned ~max t entry =
+  if max < 1 then invalid_arg "Node_map.add_pinned: max must be >= 1";
+  let sorted = add_entry t entry in
+  let kept = take max sorted in
+  if List.exists (fun e -> e.server = entry.server) kept then kept
+  else begin
+    (* Refetch from the combined list: owner stickiness and stamp max may
+       have merged [entry] with an existing one. *)
+    let pinned = List.find (fun e -> e.server = entry.server) sorted in
+    let rec replace_last = function
+      | [] | [ _ ] -> [ pinned ]
+      | x :: rest -> x :: replace_last rest
+    in
+    match kept with
+    | [] -> [ pinned ]
+    | _ ->
+      let rec last = function [ e ] -> e | _ :: rest -> last rest | [] -> assert false in
+      if (last kept).is_owner then kept else replace_last kept
+  end
+
 let remove t s = List.filter (fun e -> e.server <> s) t
 
 (* Draw [want] entries uniformly without replacement from a small list. *)

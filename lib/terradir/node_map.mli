@@ -46,6 +46,14 @@ val owner : t -> int option
 val add : max:int -> t -> entry -> t
 (** Insert/refresh one entry, truncating to [max] under the policy. *)
 
+val add_pinned : max:int -> t -> entry -> t
+(** [add], but the added server's entry is guaranteed to survive the
+    truncation: if it would fall past the cut, the lowest-priority kept
+    non-owner entry is evicted in its favor.  Owners are never displaced —
+    in the degenerate case where owner entries alone fill the map, the
+    result equals [add]'s.  Used for a host's self entry, which the map it
+    advertises must contain (the PR-3-documented truncation subtlety). *)
+
 val remove : t -> int -> t
 (** Drop a server's entry (e.g. learned stale). *)
 

@@ -75,10 +75,6 @@ let best_candidate (s : Server.t) ~dst =
 
 let best_distance cands = match cands with [] -> None | c :: _ -> Some c.c_dist
 
-let max_digests_consulted = 8
-(* Bloom false positives compound across (ancestors × digests) tests, so a
-   routing step consults only the most recently refreshed digests. *)
-
 let max_shortcut_walk = 6
 (* Ancestors of dst tested per step.  A shortcut farther out is still a
    shortcut, but the conventional route makes progress every hop and gets
@@ -89,29 +85,42 @@ let max_shortcut_walk = 6
    and stop as soon as the chain distance reaches the best conventional
    candidate — a digest hit beyond that point cannot improve the route. *)
 let digest_shortcut (s : Server.t) ~dst ~better_than =
-  if not s.config.Config.features.Config.digests then None
+  let limit = min better_than max_shortcut_walk in
+  if (not s.config.Config.features.Config.digests) || limit <= 0 then None
   else begin
-    let _, consulted_rev =
-      Digest_store.fold_remote s.digests ~init:(0, []) ~f:(fun (n, acc) server bloom ->
-          if n >= max_digests_consulted || server = s.id then (n, acc)
-          else (n + 1, (server, bloom) :: acc))
+    (* Collect the MRU-first prefix of remote digests into the server's
+       scratch arrays — no tuples, cons cells, or reversal on the hot
+       path. *)
+    let servers = s.Server.digest_scratch_servers in
+    let blooms = s.Server.digest_scratch_blooms in
+    let cap = Array.length servers in
+    let count =
+      Digest_store.fold_remote s.digests ~init:0 ~f:(fun n server bloom ->
+          if n >= cap || server = s.id then n
+          else begin
+            servers.(n) <- server;
+            blooms.(n) <- bloom;
+            n + 1
+          end)
     in
-    let consulted = List.rev consulted_rev (* fold is MRU-first; restore order *) in
-    if consulted = [] then None
+    if count = 0 then None
     else
-      let limit = min better_than max_shortcut_walk in
+      let find_hit h =
+        (* First hit in MRU order, matching the historical consultation
+           order of the consulted list. *)
+        let rec go i = if i >= count then -1 else if Terradir_bloom.Bloom.mem_hashed blooms.(i) h then i else go (i + 1) in
+        go 0
+      in
       let rec walk node dist =
         if dist >= limit then None
         else begin
           let h = Terradir_bloom.Bloom.hash node in
-          match
-            List.find_opt (fun (_, bloom) -> Terradir_bloom.Bloom.mem_hashed bloom h) consulted
-          with
-          | Some (server, _) -> Some (node, server, dist)
-          | None -> (
+          let i = find_hit h in
+          if i >= 0 then Some (node, servers.(i), dist)
+          else
             match Tree.parent s.tree node with
             | Some p -> walk p (dist + 1)
-            | None -> None)
+            | None -> None
         end
       in
       walk dst 0

@@ -18,6 +18,10 @@ type session = { session_id : int; mutable tried : server_id list; mutable attem
 
 type neighbor_ref = { mutable n_map : Node_map.t; mutable refs : int }
 
+let max_digests_consulted = 8
+(* Bloom false positives compound across (ancestors × digests) tests, so a
+   routing step consults only the most recently refreshed digests. *)
+
 type t = {
   id : server_id;
   config : Config.t;
@@ -31,6 +35,8 @@ type t = {
   mutable replica_count : int;
   cache : Cache.t;
   digests : Digest_store.t;
+  digest_scratch_servers : int array;
+  digest_scratch_blooms : Terradir_bloom.Bloom.t array;
   load : Load_meter.t;
   ranking : Ranking.t;
   known_loads : (server_id, float) Hashtbl.t;
@@ -49,6 +55,7 @@ type t = {
 
 let create ~id ~config ~tree ?(speed = 1.0) ?(obs = Obs.null) ~rng () =
   if speed <= 0.0 then invalid_arg "Server.create: speed must be positive";
+  let digests = Digest_store.create ~max_remote:config.Config.max_remote_digests () in
   {
     id;
     config;
@@ -61,7 +68,11 @@ let create ~id ~config ~tree ?(speed = 1.0) ?(obs = Obs.null) ~rng () =
     owned_count = 0;
     replica_count = 0;
     cache = Cache.create ~obs ~owner:id ~slots:config.Config.cache_slots ~r_map:config.Config.r_map ~rng ();
-    digests = Digest_store.create ~max_remote:config.Config.max_remote_digests ();
+    digests;
+    (* Reused by Routing.digest_shortcut so consulting digests allocates
+       nothing per routing step. *)
+    digest_scratch_servers = Array.make max_digests_consulted 0;
+    digest_scratch_blooms = Array.make max_digests_consulted (Digest_store.local digests);
     load = Load_meter.create ~window:config.Config.load_window;
     ranking = Ranking.create ();
     known_loads = Hashtbl.create 32;
@@ -166,7 +177,7 @@ let add_owned t node ~owner_of ~now =
 let ensure_self t h ~now =
   if not (Node_map.mem h.h_map t.id) then
     h.h_map <-
-      Node_map.add ~max:(r_map t) h.h_map
+      Node_map.add_pinned ~max:(r_map t) h.h_map
         { Node_map.server = t.id; is_owner = (h.h_kind = Owned); stamp = now }
 
 let merge_into_known_map t node map ~now =
@@ -255,7 +266,7 @@ let install_owned t payload ~now =
   | Some _ -> invalid_arg "Server.install_owned: already owned"
   | None -> ());
   let map =
-    Node_map.add ~max:(r_map t) payload.rp_map
+    Node_map.add_pinned ~max:(r_map t) payload.rp_map
       { Node_map.server = t.id; is_owner = true; stamp = now }
   in
   install_hosted t node Owned ~map ~meta_version:payload.rp_meta_version
@@ -300,8 +311,10 @@ let install_replica t payload ~now =
       end;
       if deficit () > 0 then `Rejected
       else begin
+        (* Pinned: a full same-stamp rp_map must not truncate the new
+           host's own entry out of the map it will advertise. *)
         let map =
-          Node_map.add ~max:(r_map t) payload.rp_map
+          Node_map.add_pinned ~max:(r_map t) payload.rp_map
             { Node_map.server = t.id; is_owner = false; stamp = now }
         in
         install_hosted t node Replicated ~map ~meta_version:payload.rp_meta_version

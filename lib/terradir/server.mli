@@ -21,6 +21,11 @@
 
 open Types
 
+val max_digests_consulted : int
+(** Remote digests consulted per routing step (Bloom false positives
+    compound across ancestors × digests, so only the most recently
+    refreshed few are tested). *)
+
 type host_kind = Owned | Replicated
 
 type hosted = {
@@ -53,6 +58,10 @@ type t = {
   mutable replica_count : int;
   cache : Cache.t;
   digests : Digest_store.t;
+  digest_scratch_servers : int array;
+      (** scratch for {!Routing}'s digest consultation — length
+          {!max_digests_consulted}, reused every routing step *)
+  digest_scratch_blooms : Terradir_bloom.Bloom.t array;
   load : Load_meter.t;
   ranking : Ranking.t;
   known_loads : (server_id, float) Hashtbl.t;

@@ -43,6 +43,8 @@ and query = {
   mutable path : (node_id * Node_map.t) list;
       (** Path propagation (§2.4): the route so far as (node, map) pairs,
           newest first, capped at [path_cap]. *)
+  mutable path_len : int;
+      (** cached [List.length path], so the per-hop cap check is O(1) *)
   mutable shortcut_hops : int;  (** hops chosen via a digest shortcut *)
   mutable best_dist : int;
       (** closest namespace distance to [dst] this query has ever reached;

@@ -1,0 +1,266 @@
+(* Calendar queue (Brown 1988) with struct-of-arrays buckets — an
+   alternative event queue for the engine with O(1) expected add/pop under
+   the roughly-uniform arrival spacing of a simulation at steady state.
+
+   Determinism: pop order is the total order (key, then insertion seq) —
+   exactly [Pqueue]'s — regardless of bucketing, so the two schedulers are
+   interchangeable event-for-event.  Bucket membership is decided by the
+   integer "year" [int_of_float (key /. width)], never by accumulated
+   float thresholds, so no entry can be skipped past by rounding drift.
+
+   Invariant: every stored entry's year is >= [t.year] (the engine never
+   schedules into the past; a smaller key re-anchors the scan anyway). *)
+
+type 'a t = {
+  mutable nbuckets : int; (* power of two *)
+  mutable mask : int;
+  mutable width : float; (* bucket time width *)
+  mutable keys : float array array; (* per-bucket parallel vectors *)
+  mutable seqs : int array array;
+  mutable vals : 'a array array;
+  mutable lens : int array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable year : int; (* current scan year: all entries live at >= year *)
+  mutable last_key : float; (* last popped (or re-anchored) key *)
+  mutable cmin_bucket : int; (* cached min position; -1 = invalid *)
+  mutable cmin_idx : int;
+}
+
+let min_buckets = 8
+
+let fresh_buckets n = (Array.make n [||], Array.make n [||], Array.make n [||], Array.make n 0)
+
+let create () =
+  let keys, seqs, vals, lens = fresh_buckets min_buckets in
+  {
+    nbuckets = min_buckets;
+    mask = min_buckets - 1;
+    width = 1.0;
+    keys;
+    seqs;
+    vals;
+    lens;
+    size = 0;
+    next_seq = 0;
+    year = 0;
+    last_key = 0.0;
+    cmin_bucket = -1;
+    cmin_idx = 0;
+  }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let year_of q key = int_of_float (key /. q.width)
+
+let append q b key seq value =
+  let len = q.lens.(b) in
+  let capacity = Array.length q.keys.(b) in
+  if len = capacity then begin
+    let fresh_cap = max 4 (2 * capacity) in
+    let fk = Array.make fresh_cap 0.0 and fs = Array.make fresh_cap 0 in
+    let fv = Array.make fresh_cap value in
+    Array.blit q.keys.(b) 0 fk 0 len;
+    Array.blit q.seqs.(b) 0 fs 0 len;
+    Array.blit q.vals.(b) 0 fv 0 len;
+    q.keys.(b) <- fk;
+    q.seqs.(b) <- fs;
+    q.vals.(b) <- fv
+  end;
+  q.keys.(b).(len) <- key;
+  q.seqs.(b).(len) <- seq;
+  q.vals.(b).(len) <- value;
+  q.lens.(b) <- len + 1
+
+(* Pick a width so a bucket holds a couple of events: sample up to 64 keys,
+   sort, and take twice the mean adjacent gap.  Falls back to the previous
+   width when keys are too few or all coincide. *)
+let estimate_width q =
+  let sample_cap = 64 in
+  let sample = Array.make (Stdlib.min sample_cap q.size) 0.0 in
+  let filled = ref 0 in
+  (let b = ref 0 in
+   while !filled < Array.length sample && !b < q.nbuckets do
+     let len = q.lens.(!b) in
+     let take = Stdlib.min len (Array.length sample - !filled) in
+     Array.blit q.keys.(!b) 0 sample !filled take;
+     filled := !filled + take;
+     incr b
+   done);
+  if !filled < 2 then q.width
+  else begin
+    Array.sort Float.compare sample;
+    let gaps = ref 0.0 and n = ref 0 in
+    for i = 1 to !filled - 1 do
+      let g = sample.(i) -. sample.(i - 1) in
+      if g > 0.0 then begin
+        gaps := !gaps +. g;
+        incr n
+      end
+    done;
+    if !n = 0 then q.width else Float.max 1e-9 (2.0 *. !gaps /. float_of_int !n)
+  end
+
+let resize q target =
+  let width = estimate_width q in
+  let keys, seqs, vals, lens = fresh_buckets target in
+  let old_keys = q.keys and old_seqs = q.seqs and old_vals = q.vals and old_lens = q.lens in
+  let old_n = q.nbuckets in
+  q.nbuckets <- target;
+  q.mask <- target - 1;
+  q.width <- width;
+  q.keys <- keys;
+  q.seqs <- seqs;
+  q.vals <- vals;
+  q.lens <- lens;
+  let size = q.size in
+  q.size <- 0;
+  for b = 0 to old_n - 1 do
+    for i = 0 to old_lens.(b) - 1 do
+      let k = old_keys.(b).(i) in
+      append q (year_of q k land q.mask) k old_seqs.(b).(i) old_vals.(b).(i)
+    done
+  done;
+  q.size <- size;
+  q.year <- year_of q q.last_key;
+  q.cmin_bucket <- -1
+
+let add q key value =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  if key < q.last_key then begin
+    (* Late insert: re-anchor the scan so the invariant holds. *)
+    q.last_key <- key;
+    q.year <- year_of q key;
+    q.cmin_bucket <- -1
+  end;
+  let y = year_of q key in
+  let b = y land q.mask in
+  append q b key seq value;
+  q.size <- q.size + 1;
+  if q.cmin_bucket >= 0 then begin
+    let ck = q.keys.(q.cmin_bucket).(q.cmin_idx) and cs = q.seqs.(q.cmin_bucket).(q.cmin_idx) in
+    if key < ck || (key = ck && seq < cs) then begin
+      q.cmin_bucket <- b;
+      q.cmin_idx <- q.lens.(b) - 1
+    end
+  end;
+  if q.size > 2 * q.nbuckets then resize q (2 * q.nbuckets)
+
+(* Scan all buckets for the global minimum (key, seq); used when the
+   year-by-year walk has gone a full cycle without a hit. *)
+let direct_search q =
+  let best_b = ref (-1) and best_i = ref 0 in
+  let best_k = ref infinity and best_s = ref max_int in
+  for b = 0 to q.nbuckets - 1 do
+    for i = 0 to q.lens.(b) - 1 do
+      let k = q.keys.(b).(i) in
+      if k < !best_k || (k = !best_k && q.seqs.(b).(i) < !best_s) then begin
+        best_k := k;
+        best_s := q.seqs.(b).(i);
+        best_b := b;
+        best_i := i
+      end
+    done
+  done;
+  q.year <- year_of q !best_k;
+  (!best_b, !best_i)
+
+(* Position of the minimum entry; size must be > 0. *)
+let find_min q =
+  if q.cmin_bucket >= 0 then (q.cmin_bucket, q.cmin_idx)
+  else begin
+    let result = ref (-1, 0) in
+    let steps = ref 0 in
+    while fst !result < 0 && !steps < q.nbuckets do
+      let b = q.year land q.mask in
+      let best_i = ref (-1) in
+      let best_k = ref infinity and best_s = ref max_int in
+      for i = 0 to q.lens.(b) - 1 do
+        let k = q.keys.(b).(i) in
+        if
+          year_of q k <= q.year
+          && (k < !best_k || (k = !best_k && q.seqs.(b).(i) < !best_s))
+        then begin
+          best_k := k;
+          best_s := q.seqs.(b).(i);
+          best_i := i
+        end
+      done;
+      if !best_i >= 0 then result := (b, !best_i)
+      else begin
+        q.year <- q.year + 1;
+        incr steps
+      end
+    done;
+    let pos = if fst !result >= 0 then !result else direct_search q in
+    q.cmin_bucket <- fst pos;
+    q.cmin_idx <- snd pos;
+    pos
+  end
+
+let top_key q =
+  let b, i = find_min q in
+  q.keys.(b).(i)
+
+let min q =
+  if q.size = 0 then None
+  else begin
+    let b, i = find_min q in
+    Some (q.keys.(b).(i), q.vals.(b).(i))
+  end
+
+let pop_exn q =
+  if q.size = 0 then invalid_arg "Calqueue.pop_exn: empty";
+  let b, i = find_min q in
+  let value = q.vals.(b).(i) in
+  q.last_key <- q.keys.(b).(i);
+  let last = q.lens.(b) - 1 in
+  q.keys.(b).(i) <- q.keys.(b).(last);
+  q.seqs.(b).(i) <- q.seqs.(b).(last);
+  q.vals.(b).(i) <- q.vals.(b).(last);
+  q.vals.(b).(last) <- value (* keep slot initialized *);
+  q.lens.(b) <- last;
+  q.size <- q.size - 1;
+  q.cmin_bucket <- -1;
+  if q.nbuckets > min_buckets && q.size < q.nbuckets / 2 then resize q (q.nbuckets / 2);
+  value
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let b, i = find_min q in
+    let key = q.keys.(b).(i) in
+    let value = pop_exn q in
+    Some (key, value)
+  end
+
+let clear q =
+  let keys, seqs, vals, lens = fresh_buckets min_buckets in
+  q.nbuckets <- min_buckets;
+  q.mask <- min_buckets - 1;
+  q.width <- 1.0;
+  q.keys <- keys;
+  q.seqs <- seqs;
+  q.vals <- vals;
+  q.lens <- lens;
+  q.size <- 0;
+  q.year <- 0;
+  q.last_key <- 0.0;
+  q.cmin_bucket <- -1
+
+let to_sorted_list q =
+  let entries = ref [] in
+  for b = 0 to q.nbuckets - 1 do
+    for i = 0 to q.lens.(b) - 1 do
+      entries := (q.keys.(b).(i), q.seqs.(b).(i), q.vals.(b).(i)) :: !entries
+    done
+  done;
+  List.stable_sort
+    (fun (k1, s1, _) (k2, s2, _) ->
+      let c = Float.compare k1 k2 in
+      if c <> 0 then c else Int.compare s1 s2)
+    !entries
+  |> List.map (fun (k, _, v) -> (k, v))

@@ -1,0 +1,34 @@
+(** Calendar queue: an alternative engine event queue (Brown 1988).
+
+    Same contract as {!Pqueue} — float keys, FIFO tie-break by insertion
+    order — with O(1) expected add/pop when keys arrive with roughly
+    uniform spacing, as simulation events do at steady state.  Pop order
+    is byte-for-byte identical to {!Pqueue}'s for any insert sequence,
+    which test/test_interning.ml verifies exhaustively; the engine selects
+    between the two via [Config.scheduler]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> float -> 'a -> unit
+
+val min : 'a t -> (float * 'a) option
+
+val pop : 'a t -> (float * 'a) option
+
+val top_key : 'a t -> float
+(** Smallest key without removal; undefined when empty. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the minimum entry and return its value.
+    @raise Invalid_argument when empty. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Entries in pop order; the queue is unchanged. *)

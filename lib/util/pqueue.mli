@@ -1,8 +1,9 @@
-(** Mutable min-priority queue on float keys (array-backed binary heap).
+(** Mutable min-priority queue on float keys (struct-of-arrays binary heap).
 
     The event queue of the discrete-event engine.  Ties on the key are broken
     by insertion order (FIFO), which makes simulations deterministic even when
-    many events share a timestamp. *)
+    many events share a timestamp.  Keys, sequence numbers, and values live in
+    parallel arrays, so steady-state add/pop allocates nothing. *)
 
 type 'a t
 
@@ -22,6 +23,14 @@ val min : 'a t -> (float * 'a) option
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the entry with the smallest key; [None] when empty.
     Among equal keys, the earliest-inserted entry is returned first. *)
+
+val top_key : 'a t -> float
+(** Smallest key without removal; undefined when the queue is empty (check
+    [is_empty] first).  Allocation-free counterpart of [min]. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the minimum entry and return its value without boxing the key.
+    @raise Invalid_argument when empty. *)
 
 val clear : 'a t -> unit
 

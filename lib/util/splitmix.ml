@@ -1,4 +1,4 @@
-type t = { mutable state : int64 }
+type t = { mutable state : int64; mutable draws : int }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -7,15 +7,18 @@ let mix64 z =
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
-let create seed = { state = mix64 (Int64.of_int seed) }
+let create seed = { state = mix64 (Int64.of_int seed); draws = 0 }
 
-let copy g = { state = g.state }
+let copy g = { state = g.state; draws = g.draws }
 
 let bits64 g =
   g.state <- Int64.add g.state golden_gamma;
+  g.draws <- g.draws + 1;
   mix64 g.state
 
-let split g = { state = bits64 g }
+let split g = { state = bits64 g; draws = 0 }
+
+let draws g = g.draws
 
 (* Non-negative 62-bit int from the top bits: keeps arithmetic on OCaml's
    63-bit native ints exact. *)

@@ -24,6 +24,12 @@ val split : t -> t
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val draws : t -> int
+(** Number of raw 64-bit outputs drawn so far ([copy] preserves the count;
+    [split] starts the child at 0).  Rejection sampling in {!int} may draw
+    more than once per call — this counts actual state advances, which is
+    the equivalence-test currency for "same rng consumption". *)
+
 val int : t -> int -> int
 (** [int g n] is uniform in [\[0, n)].  @raise Invalid_argument if [n <= 0]. *)
 

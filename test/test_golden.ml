@@ -57,6 +57,17 @@ let fig7_golden () =
     (fun path -> check_golden (Filename.basename path) (read_file path))
     paths
 
+(* The capacity experiment runs on the calendar-queue scheduler with the
+   analytic (probe-free) injection rate: this golden pins both — a
+   calendar-queue ordering bug or a drifted rate formula is a byte diff
+   here before it is a wrong number in BENCH_results.json. *)
+let capacity_golden () =
+  let dir = "_golden_out" in
+  let paths = Csv_export.export ~id:"capacity" ~scale ~seed ~dir () in
+  List.iter
+    (fun path -> check_golden (Filename.basename path) (read_file path))
+    paths
+
 let () =
   Runner.set_jobs (Some 1);
   Alcotest.run "golden"
@@ -65,5 +76,6 @@ let () =
         [
           Alcotest.test_case "fig3 drop-fraction CSV is byte-identical" `Slow fig3_golden;
           Alcotest.test_case "fig7 replicas-per-level CSV is byte-identical" `Slow fig7_golden;
+          Alcotest.test_case "capacity CSV is byte-identical" `Slow capacity_golden;
         ] );
     ]

@@ -242,6 +242,100 @@ let test_static_replication_validation () =
     (Invalid_argument "Static_replication.apply: negative levels") (fun () ->
       ignore (Static_replication.apply cluster ~levels:(-1) ~copies:1))
 
+(* ------------------------------------------------------------------ *)
+(* Self-entry survival (the PR-3-documented truncation subtlety)       *)
+(* ------------------------------------------------------------------ *)
+
+(* An adversarial incoming map: r_map entries, every one sorting ahead of
+   the new host's non-owner self entry (the owner first, then same-stamp
+   entries with lower server ids).  A plain [Node_map.add] of self
+   truncates it straight back out; the host would then advertise a map
+   that does not include itself. *)
+let adversarial_map ~r_map ~stamp =
+  Node_map.of_entries ~max:r_map
+    (List.init r_map (fun i -> { Node_map.server = i; is_owner = i = 0; stamp }))
+
+let test_replica_self_survives_install () =
+  let config = { Config.default with Config.num_servers = 8 } in
+  let self = 7 in
+  let s = Server.create ~id:self ~config ~tree ~rng:(Splitmix.create 11) () in
+  (* Own one node so the replica budget (r_fact × owned) admits the install. *)
+  Server.add_owned s 1 ~owner_of:(fun _ -> self) ~now:0.0;
+  let now = 5.0 in
+  let payload =
+    {
+      Types.rp_node = 2;
+      rp_meta_version = 0;
+      rp_map = adversarial_map ~r_map:config.Config.r_map ~stamp:now;
+      rp_context = [];
+      rp_weight_hint = 1.0;
+    }
+  in
+  (match Server.install_replica s payload ~now with
+  | `Installed -> ()
+  | `Merged | `Rejected -> Alcotest.fail "expected a fresh install");
+  let h = Option.get (Server.find_hosted s 2) in
+  Alcotest.(check bool) "self entry survives the install truncation" true
+    (Node_map.mem h.Server.h_map self);
+  Alcotest.(check int) "map stays within r_map" config.Config.r_map
+    (Node_map.size h.Server.h_map);
+  Alcotest.(check (option int)) "owner entry is never displaced" (Some 0)
+    (Node_map.owner h.Server.h_map)
+
+let test_replica_self_survives_merge () =
+  let config = { Config.default with Config.num_servers = 8 } in
+  let self = 7 in
+  let s = Server.create ~id:self ~config ~tree ~rng:(Splitmix.create 13) () in
+  Server.add_owned s 1 ~owner_of:(fun _ -> self) ~now:0.0;
+  let payload =
+    {
+      Types.rp_node = 2;
+      rp_meta_version = 0;
+      rp_map = Node_map.singleton ~is_owner:true ~server:0 ~stamp:1.0 ();
+      rp_context = [];
+      rp_weight_hint = 1.0;
+    }
+  in
+  (match Server.install_replica s payload ~now:1.0 with
+  | `Installed -> ()
+  | `Merged | `Rejected -> Alcotest.fail "expected a fresh install");
+  (* Piggybacked path state floods the hosted map with same-stamp entries
+     that all sort ahead of the (older) self entry. *)
+  Server.merge_into_known_map s 2 (adversarial_map ~r_map:config.Config.r_map ~stamp:9.0) ~now:9.0;
+  let h = Option.get (Server.find_hosted s 2) in
+  Alcotest.(check bool) "self entry survives the merge truncation" true
+    (Node_map.mem h.Server.h_map self)
+
+let test_add_pinned_never_displaces_owners () =
+  (* Degenerate case: owner entries alone fill the map — pinning must give
+     up rather than evict an owner. *)
+  let owners =
+    Node_map.of_entries ~max:2
+      [
+        { Node_map.server = 1; is_owner = true; stamp = 3.0 };
+        { Node_map.server = 2; is_owner = true; stamp = 3.0 };
+      ]
+  in
+  let pinned =
+    Node_map.add_pinned ~max:2 owners { Node_map.server = 9; is_owner = false; stamp = 9.0 }
+  in
+  Alcotest.(check (list int)) "owners kept, pin dropped" [ 1; 2 ] (Node_map.servers pinned);
+  (* Normal case: the lowest-priority non-owner is the victim. *)
+  let mixed =
+    Node_map.of_entries ~max:3
+      [
+        { Node_map.server = 1; is_owner = true; stamp = 5.0 };
+        { Node_map.server = 2; is_owner = false; stamp = 5.0 };
+        { Node_map.server = 3; is_owner = false; stamp = 5.0 };
+      ]
+  in
+  let pinned =
+    Node_map.add_pinned ~max:3 mixed { Node_map.server = 9; is_owner = false; stamp = 5.0 }
+  in
+  Alcotest.(check bool) "pinned entry present" true (Node_map.mem pinned 9);
+  Alcotest.(check bool) "lowest-priority non-owner evicted" false (Node_map.mem pinned 3);
+  Alcotest.(check int) "size bound held" 3 (Node_map.size pinned)
+
 let () =
   Alcotest.run "terradir_replication"
     [
@@ -269,5 +363,11 @@ let () =
         [
           Alcotest.test_case "apply" `Quick test_static_replication;
           Alcotest.test_case "validation" `Quick test_static_replication_validation;
+        ] );
+      ( "self-entry",
+        [
+          Alcotest.test_case "install keeps self" `Quick test_replica_self_survives_install;
+          Alcotest.test_case "merge keeps self" `Quick test_replica_self_survives_merge;
+          Alcotest.test_case "owners never displaced" `Quick test_add_pinned_never_displaces_owners;
         ] );
     ]

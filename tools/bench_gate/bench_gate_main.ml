@@ -1,0 +1,117 @@
+(* Bench regression gate: compare a fresh BENCH_results.json against the
+   committed BENCH_baseline.json and fail on slowdowns in the tracked
+   micro benchmarks.
+
+   Usage: bench_gate_main [--tolerance PCT] [--absolute] BASELINE CURRENT
+
+   Raw ns/run is machine-dependent — a committed baseline meets differently
+   sized CI runners — so by default every per-bench ratio
+   [current/baseline] is normalized by the geometric mean of all tracked
+   ratios first.  That cancels the machine-speed factor and leaves the
+   quantity the gate is actually about: did one operation get slower
+   RELATIVE to the rest of the suite.  [--absolute] skips the
+   normalization (the right mode when baseline and current come from the
+   same machine, e.g. a local before/after check).
+
+   Exit status: 0 within tolerance, 1 regression(s), 2 usage/parse error. *)
+
+module Json = Terradir_trace_check.Json
+
+(* The hot-path operations this PR's scaling work is held to.  Benches
+   outside this list (and histogram summaries) are informational only:
+   they may come and go without tripping the gate. *)
+let tracked =
+  [
+    "routing_decide";
+    "tree_distance";
+    "node_map_merge";
+    "node_map_merge_subsumed";
+    "node_map_of_entries";
+    "bloom_mem_negative";
+    "cache_insert";
+    "engine_schedule_run";
+  ]
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_gate: " ^ s); exit 2) fmt
+
+let read_micro path =
+  let source =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> die "%s" e
+  in
+  let json =
+    try Json.parse source
+    with Json.Parse_error { pos; msg } -> die "%s: parse error at byte %d: %s" path pos msg
+  in
+  match Json.member "micro_ns_per_run" json with
+  | Some (Json.Arr entries) ->
+    List.filter_map
+      (fun e ->
+        match (Json.member "name" e, Json.member "ns_per_run" e) with
+        | Some (Json.Str name), Some (Json.Num ns) -> Some (name, ns)
+        | _ -> None)
+      entries
+  | _ -> die "%s: no micro_ns_per_run array (schema v2 expected)" path
+
+let () =
+  let tolerance = ref 0.10 and absolute = ref false and files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: pct :: rest -> (
+      match float_of_string_opt pct with
+      | Some p when p > 0.0 ->
+        tolerance := p /. 100.0;
+        parse rest
+      | _ -> die "--tolerance needs a positive percentage")
+    | "--tolerance" :: [] -> die "--tolerance needs a percentage argument"
+    | "--absolute" :: rest ->
+      absolute := true;
+      parse rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> die "unknown option %s" arg
+    | path :: rest ->
+      files := path :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_file, current_file =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ -> die "usage: bench_gate_main [--tolerance PCT] [--absolute] BASELINE CURRENT"
+  in
+  let baseline = read_micro baseline_file and current = read_micro current_file in
+  let cells =
+    List.filter_map
+      (fun name ->
+        match (List.assoc_opt name baseline, List.assoc_opt name current) with
+        | Some b, Some c when b > 0.0 -> Some (name, b, c, c /. b)
+        | Some _, None -> die "%s: tracked bench %s missing from current results" current_file name
+        | None, _ -> None (* not in the baseline yet: nothing to regress against *)
+        | Some _, Some _ -> die "%s: bench %s has non-positive baseline" baseline_file name)
+      tracked
+  in
+  if cells = [] then die "no tracked benches shared between %s and %s" baseline_file current_file;
+  let geomean =
+    exp (List.fold_left (fun acc (_, _, _, r) -> acc +. log r) 0.0 cells
+         /. float_of_int (List.length cells))
+  in
+  let norm = if !absolute then 1.0 else geomean in
+  Printf.printf "bench gate: %s vs %s (tolerance %.0f%%, %s)\n" current_file baseline_file
+    (!tolerance *. 100.0)
+    (if !absolute then "absolute" else Printf.sprintf "normalized by geomean ratio %.3f" geomean);
+  let regressions =
+    List.filter
+      (fun (name, b, c, r) ->
+        let adjusted = r /. norm in
+        let verdict = if adjusted > 1.0 +. !tolerance then "REGRESSION" else "ok" in
+        Printf.printf "  %-26s %10.2f -> %10.2f ns/run  ratio %.3f (adj %.3f)  %s\n" name b c r
+          adjusted verdict;
+        adjusted > 1.0 +. !tolerance)
+      cells
+  in
+  if regressions <> [] then begin
+    Printf.eprintf "bench_gate: %d tracked bench(es) slowed down more than %.0f%%\n"
+      (List.length regressions)
+      (!tolerance *. 100.0);
+    exit 1
+  end;
+  print_endline "bench gate: all tracked benches within tolerance"
