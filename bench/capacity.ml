@@ -6,14 +6,16 @@
    Defaults reproduce the headline scenario: 100 000 servers, an expected
    2 000 000 queries.  Override with
 
-     TERRADIR_CAP_SERVERS  deployment size            (default 100000)
-     TERRADIR_CAP_QUERIES  expected query count       (default 2000000)
-     TERRADIR_CAP_SEED     simulation seed            (default 42)
-     TERRADIR_CAP_OUT      report path                (default BENCH_results.json)
+     TERRADIR_CAP_SERVERS     deployment size         (default 100000)
+     TERRADIR_CAP_QUERIES     expected query count    (default 2000000)
+     TERRADIR_CAP_SEED        simulation seed         (default 42)
+     TERRADIR_CAP_OUT         report path             (default BENCH_results.json)
+     TERRADIR_ENGINE_DOMAINS  engine domains          (default 1)
 
    The report is schema v2 (see EXPERIMENTS.md): the simulation fields are
-   deterministic per (servers, queries, seed); wall_s / events_per_sec /
-   peak_rss_kb / gc are measurements of this process. *)
+   deterministic per (servers, queries, seed) — and byte-identical for any
+   engine-domain count; wall_s / events_per_sec / peak_rss_kb / gc are
+   measurements of this process. *)
 
 module E = Terradir_experiments
 
@@ -31,8 +33,8 @@ let seed = getenv_int "TERRADIR_CAP_SEED" 42
 let out_file =
   match Sys.getenv_opt "TERRADIR_CAP_OUT" with Some f -> f | None -> "BENCH_results.json"
 
-(* Linux-specific; [None] elsewhere (the report then omits the field's
-   meaningfulness by reporting 0). *)
+(* Linux-specific; [None] elsewhere (the report then says "null" — 0 would
+   read as a real measurement to the regression gate). *)
 let peak_rss_kb () =
   match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
   | exception _ -> None
@@ -63,6 +65,7 @@ let write_report (r : E.Capacity.result) ~wall_s ~events_per_sec ~rss_kb ~(gc : 
     \  \"seed\": %d,\n\
     \  \"capacity\": {\n\
     \    \"servers\": %d,\n\
+    \    \"engine_domains\": %d,\n\
     \    \"nodes\": %d,\n\
     \    \"rate_qps\": %s,\n\
     \    \"sim_duration_s\": %s,\n\
@@ -76,18 +79,19 @@ let write_report (r : E.Capacity.result) ~wall_s ~events_per_sec ~rss_kb ~(gc : 
     \    \"replicas_created\": %d,\n\
     \    \"wall_s\": %s,\n\
     \    \"events_per_sec\": %s,\n\
-    \    \"peak_rss_kb\": %d,\n\
+    \    \"peak_rss_kb\": %s,\n\
     \    \"gc\": { \"minor_words\": %s, \"major_words\": %s, \"minor_collections\": %d, \"major_collections\": %d, \"compactions\": %d, \"top_heap_words\": %d }\n\
     \  }\n\
      }\n"
-    seed r.E.Capacity.servers r.E.Capacity.nodes
+    seed r.E.Capacity.servers r.E.Capacity.domains r.E.Capacity.nodes
     (json_float r.E.Capacity.rate)
     (json_float r.E.Capacity.sim_duration)
     r.E.Capacity.events r.E.Capacity.injected r.E.Capacity.resolved r.E.Capacity.dropped
     (json_float r.E.Capacity.drop_fraction)
     (json_float r.E.Capacity.mean_hops)
     (json_float r.E.Capacity.mean_latency)
-    r.E.Capacity.replicas_created (json_float wall_s) (json_float events_per_sec) rss_kb
+    r.E.Capacity.replicas_created (json_float wall_s) (json_float events_per_sec)
+    (match rss_kb with Some kb -> string_of_int kb | None -> "null")
     (json_float gc.Gc.minor_words) (json_float gc.Gc.major_words) gc.Gc.minor_collections
     gc.Gc.major_collections gc.Gc.compactions gc.Gc.top_heap_words;
   close_out oc;
@@ -100,9 +104,10 @@ let () =
   let r = E.Capacity.run ~servers ~queries ~seed () in
   let wall_s = Unix.gettimeofday () -. t0 in
   let gc = Gc.quick_stat () in
-  let rss_kb = match peak_rss_kb () with Some kb -> kb | None -> 0 in
+  let rss_kb = peak_rss_kb () in
   let events_per_sec = if wall_s > 0.0 then float_of_int r.E.Capacity.events /. wall_s else 0.0 in
   E.Capacity.print r;
-  Printf.printf "wall: %.1fs   events/sec: %.0f   peak RSS: %d kB\n%!" wall_s events_per_sec
-    rss_kb;
+  Printf.printf "engine domains: %d\n" r.E.Capacity.domains;
+  Printf.printf "wall: %.1fs   events/sec: %.0f   peak RSS: %s\n%!" wall_s events_per_sec
+    (match rss_kb with Some kb -> Printf.sprintf "%d kB" kb | None -> "unavailable");
   write_report r ~wall_s ~events_per_sec ~rss_kb ~gc

@@ -64,7 +64,7 @@ let histogram_summaries () =
     E.Common.unif_stream setup ~paper_rate:E.Common.paper_lambda_fig3 ~duration:30.0
   in
   let cluster = E.Runner.run_phases setup phases in
-  let m = cluster.Terradir.Cluster.metrics in
+  let m = Terradir.Cluster.metrics cluster in
   [
     ("latency_s", Terradir_obs.Hist.summary_fields m.Terradir.Metrics.latency_hist);
     ("hops", Terradir_obs.Hist.summary_fields m.Terradir.Metrics.hops_hist);

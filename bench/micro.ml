@@ -60,6 +60,43 @@ let bench_routing_decide =
       dst := ((!dst * 7919) + 11) mod Tree.size tree;
       ignore (Routing.decide s ~dst:!dst)))
 
+(* The same decision against a server that has learned a digest from every
+   peer of a 256-server deployment (the remote store at its cap) and the
+   believed load of all 255 — the shape fig9's larger sizes hit on every
+   hop.  Guards the two fixes that made that figure collapse: the shortcut
+   walk must touch only its MRU prefix, not the whole store, and the
+   replication trigger's believed-mean check must stay O(1). *)
+let bench_routing_decide_full_store =
+  let s, tree = warmed_server () in
+  for peer = 1 to 255 do
+    let hosted = List.init 24 (fun i -> ((peer * 401) + (i * 19)) mod Tree.size tree) in
+    Digest_store.record_remote s.Server.digests ~server:peer ~version:2
+      (Terradir_bloom.Bloom.of_list ~bits_per_element:16 ~hashes:10 hosted);
+    Server.note_peer_load s peer (float_of_int peer /. 300.0)
+  done;
+  let dst = ref 1 in
+  Test.make ~name:"routing_decide_full_store" (Staged.stage (fun () ->
+      dst := ((!dst * 7919) + 11) mod Tree.size tree;
+      ignore (Routing.decide s ~dst:!dst)))
+
+let bench_replication_trigger =
+  let s, _tree = warmed_server () in
+  for peer = 1 to 255 do
+    Server.note_peer_load s peer (float_of_int peer /. 300.0)
+  done;
+  (* Two busy windows put the sustained load above the floor so the
+     adaptive-threshold arm (the formerly O(peers) one) is what's timed. *)
+  let t = ref 0.0 in
+  for _ = 1 to 4 do
+    Load_meter.begin_busy s.Server.load !t;
+    t := !t +. 0.45;
+    Load_meter.end_busy s.Server.load !t;
+    t := !t +. 0.05
+  done;
+  Test.make ~name:"replication_trigger" (Staged.stage (fun () ->
+      t := !t +. 1e-7;
+      ignore (Replication.should_start s ~now:!t)))
+
 let bench_tree_distance =
   let tree = Build.balanced ~arity:2 ~levels:14 in
   let a = ref 1 and b = ref 2 in
@@ -177,6 +214,8 @@ let bench_hist_add =
 let all =
   [
     bench_routing_decide;
+    bench_routing_decide_full_store;
+    bench_replication_trigger;
     bench_tree_distance;
     bench_node_map_merge;
     bench_node_map_merge_subsumed;

@@ -34,6 +34,17 @@ let jobs_arg =
 
 let apply_jobs jobs = Experiments.Runner.set_jobs jobs
 
+let engine_domains_arg =
+  let doc =
+    "Domains INSIDE each simulation's event engine (default: \
+     TERRADIR_ENGINE_DOMAINS, else 1).  Orthogonal to --jobs, which fans \
+     independent runs out.  Every metric, CSV and trace is byte-identical \
+     for any value; only wall-clock changes."
+  in
+  Arg.(value & opt (some int) None & info [ "engine-domains" ] ~docv:"K" ~doc)
+
+let apply_engine_domains d = Experiments.Runner.set_engine_domains d
+
 let audit_arg =
   let doc =
     "Run the invariant auditor alongside the simulation (see also \
@@ -84,8 +95,9 @@ let run_cmd =
     let doc = "Simulated seconds per run (experiment default if absent)." in
     Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SEC" ~doc)
   in
-  let run id scale seed csv duration jobs audit =
+  let run id scale seed csv duration jobs engine_domains audit =
     apply_jobs jobs;
+    apply_engine_domains engine_domains;
     apply_audit audit;
     (match (Experiments.Registry.find id, csv) with
     | None, _ ->
@@ -103,13 +115,16 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate one table/figure")
-    Term.(const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ duration_arg $ jobs_arg $ audit_arg)
+    Term.(
+      const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ duration_arg $ jobs_arg
+      $ engine_domains_arg $ audit_arg)
 
 (* ---- all ---- *)
 
 let all_cmd =
-  let run scale seed jobs audit =
+  let run scale seed jobs engine_domains audit =
     apply_jobs jobs;
+    apply_engine_domains engine_domains;
     apply_audit audit;
     List.iter
       (fun e ->
@@ -121,7 +136,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure")
-    Term.(const run $ scale_arg $ seed_arg $ jobs_arg $ audit_arg)
+    Term.(const run $ scale_arg $ seed_arg $ jobs_arg $ engine_domains_arg $ audit_arg)
 
 (* ---- custom ---- *)
 
@@ -168,8 +183,9 @@ let custom_cmd =
     let doc = "Write the per-server probe time series as CSV to $(docv).  Implies at least --obs-level counters." in
     Arg.(value & opt (some string) None & info [ "probes-csv" ] ~docv:"FILE" ~doc)
   in
-  let run servers namespace rate duration alpha shifts system seed audit obs_level probe_every
-      trace events_csv probes_csv =
+  let run servers namespace rate duration alpha shifts system seed engine_domains audit obs_level
+      probe_every trace events_csv probes_csv =
+    apply_engine_domains engine_domains;
     apply_audit audit;
     let obs =
       let requested =
@@ -202,7 +218,10 @@ let custom_cmd =
       | "BCR-NODIGEST" -> { Config.bcr with Config.digests = false }
       | _ -> failwith "system must be B, BC, BCR or BCR-nodigest"
     in
-    let config = { Config.default with Config.num_servers = servers; features; seed } in
+    let config =
+      Experiments.Runner.with_engine_config
+        { Config.default with Config.num_servers = servers; features; seed }
+    in
     let cluster = Cluster.create ~obs ~config ~tree () in
     let phases =
       match alpha with
@@ -218,7 +237,7 @@ let custom_cmd =
     Scenario.run cluster ~phases ~seed:(seed + 1);
     Printf.printf "namespace: %s\n" (Terradir_namespace.Build.describe tree);
     Tablefmt.print ~header:[ "metric"; "value" ]
-      (List.map (fun (k, v) -> [ k; v ]) (Metrics.summary_rows cluster.Cluster.metrics));
+      (List.map (fun (k, v) -> [ k; v ]) (Metrics.summary_rows (Cluster.metrics cluster)));
     Printf.printf "engine events executed: %d\n"
       (Terradir_sim.Engine.events_executed cluster.Cluster.engine);
     if Obs.counters_on obs then begin
@@ -239,7 +258,8 @@ let custom_cmd =
     (Cmd.info "custom" ~doc:"Run a custom simulation")
     Term.(
       const run $ servers $ namespace $ rate $ duration $ alpha $ shifts $ system $ seed_arg
-      $ audit_arg $ obs_level $ probe_every $ trace $ events_csv $ probes_csv)
+      $ engine_domains_arg $ audit_arg $ obs_level $ probe_every $ trace $ events_csv
+      $ probes_csv)
 
 (* ---- trace ---- *)
 

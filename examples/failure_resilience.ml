@@ -48,7 +48,7 @@ let () =
 
   Scenario.run cluster ~phases ~seed:43;
 
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   let drops = Timeseries.sums m.Metrics.drops_ts in
   let resolved_ts = Timeseries.sums m.Metrics.injected_ts in
   print_endline "\nphase                  injected/s  drops/s";

@@ -24,7 +24,7 @@ let describe_run label features =
     @ [ { Stream.duration = 60.0; rate = 500.0; dist = Stream.Zipf { alpha = 1.0; reshuffle = true } } ]
   in
   Scenario.run cluster ~phases ~seed:37;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Printf.printf "%-4s  latency %5.0f ms   hops %4.2f   drop %6.4f   replicas %5d   shortcuts %d\n"
     label
     (1000.0 *. Stats.mean m.Metrics.latency)

@@ -39,7 +39,7 @@ let () =
   in
   Scenario.run_interleaved cluster ~streams:[ (background, 5); (flash_crowd, 6) ];
 
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   let drops = per_second m.Metrics.drops_ts 120 in
   let replicas = per_second m.Metrics.replicas_ts 120 in
   let max_load = Timeseries.maxima m.Metrics.load_max_ts in

@@ -54,7 +54,7 @@ let () =
     ~phases:[ { Stream.duration = 60.0; rate = 150.0; dist = Stream.Uniform } ]
     ~seed:7;
 
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   let injected_ts = Timeseries.sums m.Metrics.injected_ts in
   let drops_ts = Timeseries.sums m.Metrics.drops_ts in
   print_endline "\nphase                      injected/s  drops/s";

@@ -33,7 +33,7 @@ let () =
   Scenario.run cluster ~phases ~seed:11;
 
   (* 4. Results. *)
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   print_endline "\n== run summary ==";
   Tablefmt.print ~header:[ "metric"; "value" ]
     (List.map (fun (k, v) -> [ k; v ]) (Metrics.summary_rows m));

@@ -30,7 +30,7 @@ let unif_phases setup ~duration =
   Common.unif_stream setup ~paper_rate:Common.paper_lambda_fig3 ~duration
 
 let measure cluster =
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   [
     ("drop_fraction", Metrics.drop_fraction m);
     ("mean_hops", Stats.mean m.Metrics.hops);

@@ -25,6 +25,7 @@ open Terradir_workload
 
 type result = {
   servers : int;
+  domains : int;  (** engine domains the run executed on *)
   nodes : int;
   rate : float;  (** analytic injection rate, queries/s *)
   sim_duration : float;  (** simulated seconds driven *)
@@ -67,7 +68,7 @@ let config_for ~servers ~seed =
     seed;
   }
 
-let run ?servers ?queries ?(scale = 1.0 /. 16.0) ?(seed = 42) () =
+let run ?servers ?queries ?domains ?(scale = 1.0 /. 16.0) ?(seed = 42) () =
   if scale <= 0.0 || scale > 1.0 then invalid_arg "Capacity.run: scale must be in (0, 1]";
   let servers =
     match servers with
@@ -81,7 +82,13 @@ let run ?servers ?queries ?(scale = 1.0 /. 16.0) ?(seed = 42) () =
     | Some _ -> invalid_arg "Capacity.run: queries must be >= 1"
     | None -> max 1000 (int_of_float (Float.round (float_of_int reference_queries *. scale)))
   in
-  let config = config_for ~servers ~seed in
+  let config =
+    let c = Runner.with_engine_config (config_for ~servers ~seed) in
+    match domains with
+    | None -> c
+    | Some d when d >= 1 -> { c with Config.engine_domains = d }
+    | Some _ -> invalid_arg "Capacity.run: domains must be >= 1"
+  in
   (* ~8 nodes per server, as in the N_S experiments. *)
   let levels = max 3 (log2i (8 * servers)) in
   let tree = Build.balanced ~arity:2 ~levels in
@@ -93,9 +100,10 @@ let run ?servers ?queries ?(scale = 1.0 /. 16.0) ?(seed = 42) () =
   let cluster = Cluster.create ~config ~tree () in
   Scenario.run cluster ~phases:(Stream.unif ~rate ~duration:sim_duration) ~seed:(seed + 1009);
   Runner.record_events cluster;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   {
     servers;
+    domains = Terradir_sim.Engine.domains cluster.Cluster.engine;
     nodes = Tree.size tree;
     rate;
     sim_duration;
@@ -109,6 +117,9 @@ let run ?servers ?queries ?(scale = 1.0 /. 16.0) ?(seed = 42) () =
     replicas_created = m.Metrics.replicas_created;
   }
 
+(* [domains] is deliberately absent: rows feed the golden CSV, which must
+   stay byte-identical for any engine-domain count.  The bench harness
+   reports the domain count alongside wall-clock in its own JSON. *)
 let rows r =
   [
     ("servers", string_of_int r.servers);

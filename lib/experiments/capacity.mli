@@ -21,6 +21,11 @@
 
 type result = {
   servers : int;
+  domains : int;
+      (** engine domains the run actually executed on (after the engine's
+          fallback/clamp rules) — reported for the bench harness, and
+          deliberately absent from {!rows}: the golden CSV must stay
+          byte-identical for any domain count *)
   nodes : int;
   rate : float;  (** analytic injection rate, queries/s *)
   sim_duration : float;  (** simulated seconds driven *)
@@ -42,13 +47,23 @@ val reference_queries : int
     million absorbs Poisson fluctuation in the realized count). *)
 
 val run :
-  ?servers:int -> ?queries:int -> ?scale:float -> ?seed:int -> unit -> result
+  ?servers:int ->
+  ?queries:int ->
+  ?domains:int ->
+  ?scale:float ->
+  ?seed:int ->
+  unit ->
+  result
 (** [servers]/[queries] override the [scale]-derived sizes (defaults:
     [reference_servers]·scale and [reference_queries]·scale, scale 1/16).
     [queries] is an expectation — arrivals are Poisson, so the realized
     [injected] count varies (deterministically) with the seed.
-    @raise Invalid_argument on scale outside (0,1], servers < 8, or
-    queries < 1. *)
+    [domains] pins the engine-domain count for this run; when absent the
+    {!Runner.engine_domains} override (CLI / [TERRADIR_ENGINE_DOMAINS])
+    applies, else the config default.  Every reported field except
+    [domains] is byte-identical for any domain count.
+    @raise Invalid_argument on scale outside (0,1], servers < 8,
+    queries < 1, or domains < 1. *)
 
 val rows : result -> (string * string) list
 (** Stable (metric, value) rows — the CSV export and the report feed. *)

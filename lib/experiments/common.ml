@@ -42,8 +42,16 @@ let target_utilization ns paper_lambda =
    ablation comparisons honest: the paper drives every system at the same
    absolute λ. *)
 let calibrate ~config ~tree ~seed =
+  (* The probe is tiny and runs while the experiment suite may already be
+     saturating the machine's domains — force the sequential engine. *)
   let probe_config =
-    { config with Config.features = Config.bcr; oracle_maps = false; seed = seed + 9001 }
+    {
+      config with
+      Config.features = Config.bcr;
+      oracle_maps = false;
+      engine_domains = 1;
+      seed = seed + 9001;
+    }
   in
   let cluster = Cluster.create ~config:probe_config ~tree () in
   let servers = float_of_int probe_config.Config.num_servers in

@@ -23,7 +23,7 @@ let run ?scale ?(duration = 250.0) ?(seed = 42) () =
         let setup = Common.make ?scale ~seed Common.NS in
         let cluster = Runner.run_phases setup phases in
         let fractions =
-          Common.per_second_fraction cluster.Cluster.metrics.Metrics.drops_ts
+          Common.per_second_fraction (Cluster.metrics cluster).Metrics.drops_ts
             ~rate:(setup.Common.rate Common.paper_lambda_fig3)
             ~bins:(int_of_float duration)
         in

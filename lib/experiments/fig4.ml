@@ -23,7 +23,7 @@ let run ?scale ?(duration = 250.0) ?(seed = 42) () =
         let setup = Common.make ?scale ~seed Common.NC in
         let cluster = Runner.run_phases setup phases in
         let fractions =
-          Common.per_second_fraction cluster.Cluster.metrics.Metrics.replicas_ts
+          Common.per_second_fraction (Cluster.metrics cluster).Metrics.replicas_ts
             ~rate:(setup.Common.rate Common.paper_lambda_fig4)
             ~bins:(int_of_float duration)
         in

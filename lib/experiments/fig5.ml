@@ -40,7 +40,7 @@ let run ?scale ?(duration = 120.0) ?(seed = 42) () =
       (fun (ns, stream, phases, system, features) ->
         let setup = Common.make ?scale ~features ~seed ns in
         let cluster = Runner.run_phases setup phases in
-        { stream; system; drop_fraction = Metrics.drop_fraction cluster.Cluster.metrics })
+        { stream; system; drop_fraction = Metrics.drop_fraction (Cluster.metrics cluster) })
       specs
   in
   { cells }

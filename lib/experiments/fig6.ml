@@ -33,7 +33,7 @@ let run ?scale ?(duration = 250.0) ?(seed = 42) () =
           Common.uzipf_stream setup ~paper_rate ~alpha:1.00 ~duration
         in
         let cluster = Runner.run_phases setup phases in
-        let m = cluster.Cluster.metrics in
+        let m = Cluster.metrics cluster in
         {
           label = Printf.sprintf "lambda=%.0f" paper_rate;
           mean_load = Timeseries.means m.Metrics.load_mean_ts;

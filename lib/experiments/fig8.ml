@@ -45,7 +45,7 @@ let run ?scale ?(duration = 1200.0) ?(seed = 42) () =
             :: [ { Stream.duration = duration -. 100.0; rate; dist = Stream.Zipf { alpha; reshuffle = true } } ]
         in
         let cluster = Runner.run_phases setup phases in
-        let per_second = Timeseries.sums cluster.Cluster.metrics.Metrics.replicas_ts in
+        let per_second = Timeseries.sums (Cluster.metrics cluster).Metrics.replicas_ts in
         let minutes = (int_of_float duration + 59) / 60 in
         let per_minute =
           Array.init minutes (fun m ->

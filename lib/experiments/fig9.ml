@@ -51,7 +51,7 @@ let run ?scale ?(duration = 90.0) ?(seed = 42) () =
         let paper_rate = 5.0 *. float_of_int Common.paper_servers (* λ ∝ S *) in
         let phases = Common.uzipf_stream setup ~paper_rate ~alpha:1.00 ~duration in
         let cluster = Runner.run_phases setup phases in
-        let m = cluster.Cluster.metrics in
+        let m = Cluster.metrics cluster in
         {
           servers;
           nodes = Terradir_namespace.Tree.size setup.Common.tree;

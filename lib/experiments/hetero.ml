@@ -42,7 +42,7 @@ let run ?scale ?(duration = 120.0) ?(seed = 42) () =
               Common.uzipf_stream setup ~paper_rate:10000.0 ~alpha:1.00 ~duration
             in
             let cluster = Runner.run_phases setup phases in
-            let m = cluster.Cluster.metrics in
+            let m = Cluster.metrics cluster in
             let maxima = Timeseries.maxima m.Metrics.load_max_ts in
             let mean_of_max =
               if Array.length maxima = 0 then 0.0

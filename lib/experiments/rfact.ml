@@ -51,7 +51,7 @@ let run ?scale ?(duration = 150.0) ?(seed = 42) () =
                 ~duration
             in
             let cluster = Runner.run_phases setup phases in
-            let m = cluster.Cluster.metrics in
+            let m = Cluster.metrics cluster in
             let forwards = max 1 m.Metrics.query_forwards in
             {
               r_fact;

@@ -32,6 +32,39 @@ let with_jobs j f =
 let map f cells = Pool.map ~domains:(jobs ()) f cells
 
 (* ------------------------------------------------------------------ *)
+(* Engine parallelism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Domains INSIDE each simulation's event engine — orthogonal to [jobs],
+   which fans independent cells out.  Same discipline: pinned by the main
+   domain, read when a cluster is built.  The engine's determinism
+   contract makes this knob observable-output-neutral. *)
+let forced_engine_domains = ref None
+
+let set_engine_domains d = forced_engine_domains := d
+
+let with_engine_domains d f =
+  let saved = !forced_engine_domains in
+  forced_engine_domains := Some d;
+  Fun.protect ~finally:(fun () -> forced_engine_domains := saved) f
+
+let engine_domains () =
+  match !forced_engine_domains with
+  | Some _ as d -> d
+  | None -> (
+    match Sys.getenv_opt "TERRADIR_ENGINE_DOMAINS" with
+    | Some v -> ( match int_of_string_opt v with Some d when d >= 1 -> Some d | _ -> None)
+    | None -> None)
+
+(* Apply the pinned/environment override, if any, to a cluster config. *)
+let with_engine_config config =
+  match engine_domains () with
+  | None -> config
+  | Some d ->
+    if d = config.Config.engine_domains then config
+    else { config with Config.engine_domains = max 1 d }
+
+(* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -74,6 +107,7 @@ let record_events cluster =
 (* ------------------------------------------------------------------ *)
 
 let run_phases ?(workload_seed = 1009) setup phases =
+  let setup = { setup with Common.config = with_engine_config setup.Common.config } in
   let cluster = Common.cluster ?obs:(fresh_obs ()) setup in
   Scenario.run cluster ~phases ~seed:workload_seed;
   record_events cluster;

@@ -62,6 +62,24 @@ let add t v =
   if v < t.vmin then t.vmin <- v;
   if v > t.vmax then t.vmax <- v
 
+(* Integer state only: bucket counts and the total are exact under any
+   merge order.  The float moments (sum/vmin/vmax) are deliberately NOT
+   touched — partial float sums depend on the partition, so a
+   byte-identical merge must set them from a source whose accumulation
+   order is K-independent (see [set_moments]). *)
+let absorb ~into src =
+  for i = 0 to nbuckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.count <- into.count + src.count
+
+let set_moments t ~sum ~vmin ~vmax =
+  t.sum <- sum;
+  if t.count > 0 then begin
+    t.vmin <- vmin;
+    t.vmax <- vmax
+  end
+
 let count t = t.count
 
 let sum t = t.sum

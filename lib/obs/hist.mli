@@ -17,6 +17,18 @@ val reset : t -> unit
 
 val add : t -> float -> unit
 
+val absorb : into:t -> t -> unit
+(** Accumulate [src]'s integer state (bucket counts and total count)
+    into [into] — exact under any merge order.  The float moments
+    (sum/min/max) are {e not} merged: partial float sums are
+    partition-dependent, so after absorbing every part the caller must
+    {!set_moments} from a K-independent source (the per-server [Stats]
+    fold that saw the identical value stream). *)
+
+val set_moments : t -> sum:float -> vmin:float -> vmax:float -> unit
+(** Overwrite the float moments after {!absorb}.  [vmin]/[vmax] are
+    ignored when the histogram is empty. *)
+
 val count : t -> int
 
 val sum : t -> float

@@ -24,6 +24,11 @@ type t = {
   spans_on : bool;
   full_on : bool;
   recorder : Recorder.t;
+  mutable recorders : Recorder.t array;
+      (* per-engine-lane recorders of a multi-domain run; [||] = the
+         single-recorder sequential path *)
+  mutable stamp : (unit -> int * float * int * int) option;
+      (* engine stamp hook: (lane, time, tie, sub) of the running event *)
   probes : Probes.t;
   probe_every : int;
   mutable clock : unit -> float;
@@ -36,6 +41,8 @@ let make ~level ~capacity ~probe_every =
     spans_on = (match level with Spans | Full -> true | Off | Counters -> false);
     full_on = level = Full;
     recorder = Recorder.create ~capacity:(if level = Off then 0 else capacity);
+    recorders = [||];
+    stamp = None;
     probes = Probes.create ();
     probe_every;
     clock = (fun () -> 0.0);
@@ -55,7 +62,9 @@ let spans_on t = t.spans_on
 
 let full_on t = t.full_on
 
-let recorder t = t.recorder
+let recorder t =
+  if Array.length t.recorders = 0 then t.recorder
+  else Recorder.merged (Array.to_list t.recorders) ~capacity:(Recorder.capacity t.recorder)
 
 let probes t = t.probes
 
@@ -66,7 +75,22 @@ let probe_every t = t.probe_every
    domains (worker clusters created without a sink). *)
 let set_clock t clock = if t.level <> Off then t.clock <- clock
 
+(* Same [null]-guard as [set_clock]: switching the shared disabled sink
+   into multi-lane mode would race across domains. *)
+let set_multi t ~lanes ~stamp =
+  if t.level <> Off then begin
+    let capacity = Recorder.capacity t.recorder in
+    t.recorders <- Array.init lanes (fun _ -> Recorder.create ~capacity);
+    t.stamp <- Some stamp
+  end
+
 let now t = t.clock ()
 
 let record t ~server event =
-  if t.counters_on then Recorder.record t.recorder ~time:(t.clock ()) ~server event
+  if t.counters_on then begin
+    match t.stamp with
+    | None -> Recorder.record t.recorder ~time:(t.clock ()) ~server event
+    | Some stamp ->
+      let lane, time, tie, sub = stamp () in
+      Recorder.record_stamped t.recorders.(lane) ~time ~tie ~sub ~server event
+  end

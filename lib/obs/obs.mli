@@ -52,6 +52,17 @@ val full_on : t -> bool
 (** [level = Full]. *)
 
 val recorder : t -> Recorder.t
+(** The flight recorder.  After {!set_multi}, a freshly merged view of
+    the per-lane recorders (identical to the sequential ring — the
+    determinism contract); otherwise the backing recorder itself. *)
+
+val set_multi : t -> lanes:int -> stamp:(unit -> int * float * int * int) -> unit
+(** Switch to per-lane recording for a multi-domain engine: [lanes]
+    recorders are created (each with the configured capacity) and every
+    {!record} consults [stamp] — the engine hook returning the running
+    event's [(lane, time, tie, sub)] — instead of the clock closure.
+    Done by [Cluster.create] when [engine_domains > 1]; a no-op on
+    {!null}. *)
 
 val probes : t -> Probes.t
 

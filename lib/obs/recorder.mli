@@ -19,6 +19,18 @@ val create : capacity:int -> t
 (** @raise Invalid_argument if [capacity < 0]. *)
 
 val record : t -> time:float -> server:int -> Event.t -> unit
+(** Record with a zero stamp — the single-recorder (sequential) path,
+    where arrival order is already the canonical order. *)
+
+val record_stamped : t -> time:float -> tie:int -> sub:int -> server:int -> Event.t -> unit
+(** Record with the engine's canonical stamp: [(time, tie, sub)] is
+    globally unique and independent of the shard count, making per-lane
+    recorders mergeable via {!merged}. *)
+
+val merged : t list -> capacity:int -> t
+(** Merge per-lane recorders into the ring one recorder of [capacity]
+    would hold after the same run: entries sorted by stamp, truncated to
+    the newest [capacity]; [total] is the sum over lanes. *)
 
 val capacity : t -> int
 

@@ -1,47 +1,103 @@
-(** Sequential discrete-event simulation engine.
+(** Discrete-event simulation engine — sequential, or sharded across
+    OCaml 5 domains with conservative synchronized windows.
 
     A simulation is a clock plus a priority queue of timestamped thunks.
     [run] repeatedly pops the earliest event, advances the clock to its
-    timestamp, and executes it; handlers schedule further events.  Events
-    with equal timestamps fire in scheduling order (deterministic).
+    timestamp, and executes it; handlers schedule further events.
 
-    The engine is deliberately minimal: processes, queues, and resources are
-    modeled by the TerraDir layer on top of it. *)
+    Events are totally ordered by a canonical, partition-independent key:
+    (timestamp, tie), where the tie-break combines the {e executing}
+    context id with a per-context monotone counter.  Because the order
+    never references global insertion order, it is identical for every
+    shard count [K] — byte-identical simulation outputs at K = 1, 2, 4…
+    are the engine's core contract (test-enforced).
+
+    The engine is deliberately minimal: processes, queues, and resources
+    are modeled by the TerraDir layer on top of it. *)
 
 type t
 
 val create : ?scheduler:[ `Heap | `Calendar ] -> unit -> t
-(** Fresh engine with the clock at 0.  [scheduler] selects the event-queue
-    implementation: [`Heap] (default) is the binary-heap {!Pqueue};
-    [`Calendar] is the calendar queue, O(1) expected add/pop at steady
-    state — the right choice for capacity-scale runs.  Both pop in the
-    identical (timestamp, insertion-order) sequence, so the selection
-    never changes simulation results, only speed. *)
+(** Fresh sequential engine with the clock at 0.  [scheduler] selects the
+    event-queue implementation: [`Heap] (default) is the binary-heap
+    {!Terradir_util.Pqueue}; [`Calendar] is the calendar queue, O(1)
+    expected add/pop at steady state — the right choice for
+    capacity-scale runs.  Both pop in the identical canonical sequence,
+    so the selection never changes simulation results, only speed. *)
+
+val configure : t -> domains:int -> lookahead:float -> shard_of:int array -> unit
+(** Partition the engine's contexts across [domains] shard lanes before
+    any event is scheduled.  [shard_of.(c)] is the lane of context [c]
+    (servers, in the TerraDir layer); [lookahead] must be a positive
+    lower bound on every cross-context scheduling delay — the minimum
+    network latency.  [domains = 1] only records the context count.
+    @raise Invalid_argument if the engine already has events, [domains]
+    or an assignment is out of range, or [lookahead <= 0] with
+    [domains > 1]. *)
+
+val domains : t -> int
+(** The configured shard count K (1 until {!configure}). *)
+
+val driver_ctx : int
+(** Pseudo-context [-1]: workload-driver events (arrival chains, phase
+    transitions).  Must read no shard-owned state; executed on the
+    coordinator, possibly ahead of slower shards. *)
+
+val sync_ctx : int
+(** Pseudo-context [-2]: cross-shard readers (the load monitor).  Always
+    executed solo, with every lane idle. *)
 
 val now : t -> float
-(** Current simulation time. *)
+(** Current simulation time — of the calling domain's lane while inside
+    an event, of the coordinator between events. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> unit
-(** [schedule t ~delay f] runs [f] at [now t +. delay].
-    @raise Invalid_argument if [delay] is negative or not finite. *)
+val ctx : t -> int
+(** Context (owner) of the event being executed on the calling domain;
+    [-1] between events.  The TerraDir layer uses this to decide whether
+    a completion may run inline or must be re-scheduled to its owner. *)
 
-val schedule_at : t -> float -> (unit -> unit) -> unit
-(** Absolute-time variant. @raise Invalid_argument when scheduling into the
-    past. *)
+val lane_count : t -> int
+(** Number of metric/obs lanes: K shard lanes plus the coordinator lane
+    when K >= 2; exactly 1 when K = 1. *)
+
+val lane_index : t -> int
+(** Index in [0, lane_count) of the calling domain's current lane (the
+    coordinator lane between events) — the slot for per-lane sinks. *)
+
+val stamp : t -> int * float * int * int
+(** [(lane, time, tie, sub)] of the currently executing event, bumping
+    the intra-event emission counter [sub] — a canonical, K-independent
+    sort key for merged observability records. *)
+
+val schedule : ?owner:int -> t -> delay:float -> (unit -> unit) -> unit
+(** [schedule ~owner t ~delay f] runs [f], in context [owner], at
+    [now t +. delay].  [owner] (default {!driver_ctx}) is the server id
+    whose state [f] touches; with [domains > 1] it selects the lane.
+    Cross-lane schedules from inside a window must satisfy the lookahead
+    ([delay >=] minimum network latency).
+    @raise Invalid_argument if [delay] is negative or not finite, or on
+    a lookahead violation. *)
+
+val schedule_at : ?owner:int -> t -> float -> (unit -> unit) -> unit
+(** Absolute-time variant. @raise Invalid_argument when scheduling into
+    the past. *)
 
 val pending : t -> int
 (** Number of events not yet executed. *)
 
 val next_time : t -> float option
-(** Timestamp of the earliest pending event, if any — what the clock will
-    advance to on the next {!step}. *)
+(** Timestamp of the earliest pending event, if any. *)
 
 val add_observer : t -> every:int -> (unit -> unit) -> unit
-(** Register an observer: the hook runs after every [every]-th executed
-    event, strictly {e between} events — handlers never see it mid-flight.
-    Hooks must not schedule events or otherwise perturb the simulation;
-    they exist for auditing and observation (invariant checks, probes).
-    Observers fire in registration order; several may share a cadence.
+(** Register an observer hook, run strictly {e between} events — handlers
+    never see it mid-flight.  At K = 1 it runs after every [every]-th
+    executed event; at K >= 2 it runs at the first synchronization point
+    (window barrier or solo sync event) after each [every]-multiple is
+    crossed — the same points for every K >= 2, since the window
+    schedule is K-independent.  Hooks must not schedule events or
+    otherwise perturb the simulation; they exist for auditing and
+    observation (invariant checks, probes).  Observers fire in
+    registration order; several may share a cadence.
     @raise Invalid_argument if [every < 1]. *)
 
 val set_observer : t -> every:int -> (unit -> unit) -> unit
@@ -51,13 +107,15 @@ val clear_observer : t -> unit
 (** Discard all observers. *)
 
 val run : ?until:float -> t -> unit
-(** Execute events in timestamp order.  With [until], stops (without
-    executing them) at the first event strictly after [until] and advances
-    the clock to [until]; without it, runs until the queue drains.
-    @raise Invalid_argument if [until] is before [now]. *)
+(** Execute events in canonical key order.  With [until], stops (without
+    executing them) at the first event strictly after [until] and
+    advances the clock to [until]; without it, runs until the queues
+    drain.  With [domains > 1], spawns the worker gang for the duration
+    of the call.  @raise Invalid_argument if [until] is before [now]. *)
 
 val step : t -> bool
-(** Execute exactly the next event.  [false] when the queue is empty. *)
+(** Execute exactly the next event.  [false] when the queue is empty.
+    @raise Invalid_argument on a multi-domain engine. *)
 
 val events_executed : t -> int
 (** Total events executed since creation (simulation-cost accounting). *)

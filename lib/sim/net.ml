@@ -18,14 +18,22 @@ type partition = {
 
 type t = {
   rng : Splitmix.t;
+  src_rngs : Splitmix.t array;
+      (* per-source randomness streams ([create ~peers]): each sender
+         draws loss/latency from its own stream, so the draw order seen
+         by any one stream is the sender's event order — deterministic
+         and independent of how servers are sharded across domains.
+         [||] = the legacy single-stream network. *)
   obs : Terradir_obs.Obs.t;
   mutable p_loss : float;
   mutable latency : latency;
   mutable partitions : partition list;
   mutable next_partition : int;
-  mutable n_delivered : int;
-  mutable n_lost : int;
-  mutable n_blocked : int;
+  n_delivered : int array;
+  n_lost : int array;
+  n_blocked : int array;
+      (* per-source counters in [~peers] mode (writes stay shard-local);
+         length 1 otherwise.  Read back as sums. *)
 }
 
 let check_loss p =
@@ -40,19 +48,30 @@ let check_latency = function
     if median <= 0.0 then invalid_arg "Net: lognormal median must be positive";
     if sigma < 0.0 then invalid_arg "Net: lognormal sigma must be non-negative"
 
-let create ?(loss = 0.0) ?(latency = Constant 0.0) ?(obs = Terradir_obs.Obs.null) ~rng () =
+let create ?(loss = 0.0) ?(latency = Constant 0.0) ?(obs = Terradir_obs.Obs.null) ?peers ~rng () =
   check_loss loss;
   check_latency latency;
+  let src_rngs =
+    match peers with
+    | None -> [||]
+    | Some n ->
+      if n < 1 then invalid_arg "Net.create: peers must be >= 1";
+      (* split in src order so the stream assignment is a pure function
+         of the peer count, whatever the eventual sharding *)
+      Array.init n (fun _ -> Splitmix.split rng)
+  in
+  let slots = max 1 (Array.length src_rngs) in
   {
     rng;
+    src_rngs;
     obs;
     p_loss = loss;
     latency;
     partitions = [];
     next_partition = 0;
-    n_delivered = 0;
-    n_lost = 0;
-    n_blocked = 0;
+    n_delivered = Array.make slots 0;
+    n_lost = Array.make slots 0;
+    n_blocked = Array.make slots 0;
   }
 
 let set_loss t p =
@@ -65,12 +84,20 @@ let set_latency t l =
   check_latency l;
   t.latency <- l
 
-let sample_latency t =
+let draw_latency t rng =
   match t.latency with
   | Constant d -> d
   | Uniform { base; jitter } ->
-    if jitter = 0.0 then base else base -. jitter +. Splitmix.float t.rng (2.0 *. jitter)
-  | Lognormal { median; sigma } -> Dist.lognormal t.rng ~mu:(log median) ~sigma
+    if jitter = 0.0 then base else base -. jitter +. Splitmix.float rng (2.0 *. jitter)
+  | Lognormal { median; sigma } -> Dist.lognormal rng ~mu:(log median) ~sigma
+
+let sample_latency t = draw_latency t t.rng
+
+let min_latency t =
+  match t.latency with
+  | Constant d -> d
+  | Uniform { base; jitter } -> base -. jitter
+  | Lognormal _ -> 0.0
 
 let partition ?(directed = false) t ~a ~b =
   if a = [] || b = [] then invalid_arg "Net.partition: empty side";
@@ -102,30 +129,35 @@ let blocked t ~src ~dst =
        t.partitions
 
 let transmit t ~src ~dst =
+  let per_src = Array.length t.src_rngs > 0 in
+  let slot = if per_src then src else 0 in
+  let rng = if per_src then t.src_rngs.(src) else t.rng in
   if blocked t ~src ~dst then begin
-    t.n_blocked <- t.n_blocked + 1;
+    t.n_blocked.(slot) <- t.n_blocked.(slot) + 1;
     if Terradir_obs.Obs.counters_on t.obs then
       (* lint: obs-in-hot-path fault events are rare and gated on the counters level *)
       Terradir_obs.Obs.record t.obs ~server:src (Terradir_obs.Event.Net_blocked { src; dst });
     Blocked
   end
-  else if src <> dst && t.p_loss > 0.0 && Splitmix.float t.rng 1.0 < t.p_loss then begin
-    t.n_lost <- t.n_lost + 1;
+  else if src <> dst && t.p_loss > 0.0 && Splitmix.float rng 1.0 < t.p_loss then begin
+    t.n_lost.(slot) <- t.n_lost.(slot) + 1;
     if Terradir_obs.Obs.counters_on t.obs then
       (* lint: obs-in-hot-path fault events are rare and gated on the counters level *)
       Terradir_obs.Obs.record t.obs ~server:src (Terradir_obs.Event.Net_lost { src; dst });
     Lost
   end
   else begin
-    t.n_delivered <- t.n_delivered + 1;
-    Delivered (sample_latency t)
+    t.n_delivered.(slot) <- t.n_delivered.(slot) + 1;
+    Delivered (draw_latency t rng)
   end
 
-let delivered t = t.n_delivered
+let sum = Array.fold_left ( + ) 0
 
-let lost t = t.n_lost
+let delivered t = sum t.n_delivered
 
-let blocked_count t = t.n_blocked
+let lost t = sum t.n_lost
+
+let blocked_count t = sum t.n_blocked
 
 let backoff ~base ~factor ~attempt =
   if base < 0.0 then invalid_arg "Net.backoff: base must be non-negative";

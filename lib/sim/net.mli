@@ -35,6 +35,7 @@ val create :
   ?loss:float ->
   ?latency:latency ->
   ?obs:Terradir_obs.Obs.t ->
+  ?peers:int ->
   rng:Terradir_util.Splitmix.t ->
   unit ->
   t
@@ -42,8 +43,17 @@ val create :
     until configured otherwise.  [obs] (default the disabled sink)
     receives [Net_lost] / [Net_blocked] events, attributed to the sending
     server; recording never touches [rng].
-    @raise Invalid_argument if [loss] is outside [0, 1] or the latency
-    parameters are invalid (negative times, [jitter > base],
+
+    [peers] (the sender-id space, ids [0 .. peers-1]) switches the model
+    to one randomness stream and one counter set {e per sender}: each
+    stream is split off [rng] in id order at creation, and a sender's
+    draws then depend only on its own transmission order.  This is what
+    makes a multi-domain engine run bit-identical to the sequential one
+    — a shared stream would be consumed in nondeterministic global order
+    — and it keeps counter writes shard-local.  Without [peers] the
+    legacy single-stream model is unchanged.
+    @raise Invalid_argument if [loss] is outside [0, 1], [peers < 1], or
+    the latency parameters are invalid (negative times, [jitter > base],
     non-positive median, negative sigma). *)
 
 val set_loss : t -> float -> unit
@@ -56,7 +66,15 @@ val set_latency : t -> latency -> unit
 (** @raise Invalid_argument on invalid parameters (see {!create}). *)
 
 val sample_latency : t -> float
-(** Draw one latency from the current distribution (always >= 0). *)
+(** Draw one latency from the current distribution (always >= 0), using
+    the shared creation-time stream — test/diagnostic use; {!transmit}
+    draws from the per-sender stream when [peers] was given. *)
+
+val min_latency : t -> float
+(** Infimum of the current latency distribution: [Constant d] gives [d],
+    [Uniform] gives [base - jitter], [Lognormal] gives [0.] (unbounded
+    below in spirit).  The conservative engine's lookahead: no message
+    sent at time [t] can act before [t + min_latency]. *)
 
 val partition : ?directed:bool -> t -> a:int list -> b:int list -> partition_id
 (** [partition t ~a ~b] makes every message from a server in [a] to a

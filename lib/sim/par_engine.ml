@@ -1,0 +1,70 @@
+open Terradir_util
+
+(* Conservative-window machinery for the parallel engine: the canonical
+   key order, the per-window exclusive bound, and the fork-join execution
+   of one window across a persistent domain gang.
+
+   The synchronization protocol (see DESIGN §13): with lookahead L — the
+   minimum cross-server network latency — every cross-shard effect of an
+   event at time t lands at or after t + L.  A window that executes every
+   shard event strictly below B = min(lb + L, next sync key, until) can
+   therefore run its lanes independently: no lane can receive an event
+   below B from another lane mid-window.  Cross-lane schedules are parked
+   in per-lane outboxes and merged at the barrier; because ties are
+   globally unique, merge order is irrelevant. *)
+
+(* Canonical key order: (time, tie) lexicographic. *)
+let key_lt t1 s1 t2 s2 = t1 < t2 || (t1 = t2 && s1 < s2)
+
+(* Minimum pending key over the shard lanes; [None] when all are empty. *)
+let shard_min lanes =
+  let best = ref None in
+  Array.iter
+    (fun lane ->
+      if not (Shard.is_empty lane) then begin
+        let k = Shard.top_key lane and s = Shard.top_tie lane in
+        match !best with
+        | None -> best := Some (k, s)
+        | Some (bk, bs) -> if key_lt k s bk bs then best := Some (k, s)
+      end)
+    lanes;
+  !best
+
+(* Exclusive upper bound of the next window, given the shard lower bound.
+   [(lb + L, -1)] admits every event at times < lb + L (tie -1 sorts
+   before any real tie); a pending solo event — sync or driver, both run
+   alone between windows — tightens the bound to its own key; [until]
+   caps it inclusively (tie [max_int] sorts after any real tie). *)
+let window_bound ~lb_time ~lookahead ~sync ~until =
+  let bt = ref (lb_time +. lookahead) and btie = ref (-1) in
+  (match sync with
+  | Some (sk, ss) -> if key_lt sk ss !bt !btie then begin
+      bt := sk;
+      btie := ss
+    end
+  | None -> ());
+  (match until with
+  | Some s -> if s < !bt then begin
+      bt := s;
+      btie := max_int
+    end
+  | None -> ());
+  (!bt, !btie)
+
+type gang = Pool.Gang.t
+
+let create_gang ~workers = Pool.Gang.create ~workers
+
+let shutdown_gang = Pool.Gang.shutdown
+
+(* Run one window: worker [i] of the gang drives lane [i + 1] up to the
+   exclusive bound; the caller drives lane 0 itself (via [coordinate])
+   and blocks at the barrier.  [prepare] runs on the worker domain before
+   its lane (domain-local-storage setup). *)
+let run_window gang lanes ~time ~tie ~prepare ~coordinate =
+  Pool.Gang.launch gang (fun w ->
+      let lane = lanes.(w + 1) in
+      prepare lane;
+      Shard.run_below lane ~time ~tie);
+  coordinate (fun () -> Shard.run_below lanes.(0) ~time ~tie);
+  Pool.Gang.join gang

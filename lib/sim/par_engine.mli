@@ -1,0 +1,43 @@
+(** Conservative-window machinery for the parallel engine.
+
+    Implements the synchronization protocol of the sharded engine: the
+    canonical (timestamp, tie) key order, the lookahead-derived exclusive
+    window bound, and fork-join execution of one window across a
+    persistent {!Terradir_util.Pool.Gang}.  The engine proper
+    ({!Engine}) owns the lanes and the orchestration loop. *)
+
+val key_lt : float -> int -> float -> int -> bool
+(** [key_lt t1 s1 t2 s2]: canonical order [(t1, s1) < (t2, s2)]. *)
+
+val shard_min : Shard.t array -> (float * int) option
+(** Minimum pending (time, tie) over the lanes; [None] if all empty. *)
+
+val window_bound :
+  lb_time:float ->
+  lookahead:float ->
+  sync:(float * int) option ->
+  until:float option ->
+  float * int
+(** Exclusive upper bound of the next window: the tightest of
+    [(lb_time + lookahead, -1)], the pending sync key, and
+    [(until, max_int)]. *)
+
+type gang
+
+val create_gang : workers:int -> gang
+
+val shutdown_gang : gang -> unit
+
+val run_window :
+  gang ->
+  Shard.t array ->
+  time:float ->
+  tie:int ->
+  prepare:(Shard.t -> unit) ->
+  coordinate:((unit -> unit) -> unit) ->
+  unit
+(** [run_window gang lanes ~time ~tie ~prepare ~coordinate] executes one
+    window bounded exclusively by [(time, tie)]: gang worker [i] runs
+    [prepare lanes.(i+1)] then drains that lane; the calling domain is
+    handed a thunk draining lane 0 through [coordinate] and then blocks
+    at the barrier (worker exceptions re-raise there). *)

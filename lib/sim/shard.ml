@@ -1,0 +1,92 @@
+open Terradir_util
+
+(* One shard lane of the (possibly parallel) engine: an event queue plus
+   the per-lane execution context.  The engine owns an array of these;
+   during a synchronized window each lane is driven by exactly one domain,
+   so none of the mutable fields need atomicity — visibility across
+   windows is published by the gang's barrier (mutex acquire/release).
+
+   Entries carry the canonical total-order key (timestamp, tie) in the
+   queue's (key, seq) slots and the executing-context id (owner server,
+   or a negative pseudo-context) in the tag slot. *)
+
+type queue = Heap of (unit -> unit) Pqueue.t | Calendar of (unit -> unit) Calqueue.t
+
+type t = {
+  idx : int; (* lane index: 0..K-1 shards; K = the coordinator lane *)
+  queue : queue;
+  mutable clock : float; (* time of the event being / last executed *)
+  mutable ctx : int; (* executing context: owner of the running event, -1 idle *)
+  mutable tie : int; (* tie-break of the running event (obs stamping) *)
+  mutable sub : int; (* intra-event emission counter (obs stamping) *)
+  mutable executed : int;
+  outboxes : (float * int * int * (unit -> unit)) list array;
+      (* per-destination-lane deposits made while a window is open:
+         (time, tie, owner, thunk), merged by the coordinator at the
+         barrier.  Insertion order is irrelevant — ties are globally
+         unique. *)
+}
+
+let create ~scheduler ~idx ~ndest =
+  let queue =
+    match scheduler with
+    | `Heap -> Heap (Pqueue.create ())
+    | `Calendar -> Calendar (Calqueue.create ())
+  in
+  {
+    idx;
+    queue;
+    clock = 0.0;
+    ctx = -1;
+    tie = 0;
+    sub = 0;
+    executed = 0;
+    outboxes = Array.make ndest [];
+  }
+
+let length t = match t.queue with Heap q -> Pqueue.length q | Calendar q -> Calqueue.length q
+
+let is_empty t = match t.queue with Heap q -> Pqueue.is_empty q | Calendar q -> Calqueue.is_empty q
+
+(* The three peeks are undefined on an empty lane; callers check first.
+   The calendar queue caches its min position, so peeking all three
+   components costs one scan at most. *)
+let top_key t = match t.queue with Heap q -> Pqueue.top_key q | Calendar q -> Calqueue.top_key q
+
+let top_tie t = match t.queue with Heap q -> Pqueue.top_seq q | Calendar q -> Calqueue.top_seq q
+
+let top_tag t = match t.queue with Heap q -> Pqueue.top_tag q | Calendar q -> Calqueue.top_tag q
+
+let enqueue t ~key ~tie ~tag f =
+  match t.queue with
+  | Heap q -> Pqueue.add_tagged q ~key ~seq:tie ~tag f
+  | Calendar q -> Calqueue.add_tagged q ~key ~seq:tie ~tag f
+
+(* Execute the lane's minimum event: advance the lane clock, expose the
+   event's owner as the executing context for the duration of the
+   handler, and drop back to idle (-1) after — idle-time API calls must
+   not observe a stale context. *)
+let pop_run t =
+  let key = top_key t and tie = top_tie t and tag = top_tag t in
+  let f = match t.queue with Heap q -> Pqueue.pop_exn q | Calendar q -> Calqueue.pop_exn q in
+  if key < t.clock then
+    invalid_arg
+      (Printf.sprintf "Shard.pop_run: lane %d key regressed %h -> %h" t.idx t.clock key);
+  t.clock <- key;
+  t.ctx <- tag;
+  t.tie <- tie;
+  t.sub <- 0;
+  t.executed <- t.executed + 1;
+  f ();
+  t.ctx <- -1
+
+(* Run every event strictly below the exclusive bound (time, tie). *)
+let run_below t ~time ~tie =
+  let continue = ref true in
+  while !continue do
+    if is_empty t then continue := false
+    else begin
+      let k = top_key t in
+      if k < time || (k = time && top_tie t < tie) then pop_run t else continue := false
+    end
+  done

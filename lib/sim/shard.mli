@@ -1,0 +1,52 @@
+(** One shard lane of the discrete-event engine.
+
+    A lane is an event queue ({!Terradir_util.Pqueue} or
+    {!Terradir_util.Calqueue}) plus the mutable execution context of the
+    event it is currently running (clock, owner, tie-break, intra-event
+    counter).  The engine partitions servers across lanes; during a
+    synchronized window each lane is driven by exactly one domain, so the
+    fields need no atomicity — the window barrier publishes them.
+
+    Queue entries store the canonical total-order key (timestamp, tie) in
+    the (key, seq) slots and the event's owner context in the tag slot:
+    the parallel engine's pop order over the union of all lanes is then
+    exactly the sequential engine's pop order over one queue. *)
+
+type queue =
+  | Heap of (unit -> unit) Terradir_util.Pqueue.t
+  | Calendar of (unit -> unit) Terradir_util.Calqueue.t
+
+type t = {
+  idx : int;
+  queue : queue;
+  mutable clock : float;
+  mutable ctx : int;  (** owner of the running event; [-1] when idle *)
+  mutable tie : int;
+  mutable sub : int;  (** intra-event obs emission counter *)
+  mutable executed : int;
+  outboxes : (float * int * int * (unit -> unit)) list array;
+      (** per-destination cross-lane deposits of the open window *)
+}
+
+val create : scheduler:[ `Heap | `Calendar ] -> idx:int -> ndest:int -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val top_key : t -> float
+(** Undefined when empty (as are {!top_tie} and {!top_tag}). *)
+
+val top_tie : t -> int
+
+val top_tag : t -> int
+
+val enqueue : t -> key:float -> tie:int -> tag:int -> (unit -> unit) -> unit
+
+val pop_run : t -> unit
+(** Execute the minimum event: sets clock/ctx/tie, runs the thunk, and
+    resets [ctx] to [-1].  The lane must be non-empty. *)
+
+val run_below : t -> time:float -> tie:int -> unit
+(** Pop-and-run while the lane minimum is strictly below the exclusive
+    bound [(time, tie)]. *)

@@ -43,21 +43,61 @@ type t = {
   rng : Splitmix.t;
   net : Net.t;
   obs : Obs.t;
-  metrics : Metrics.t;
+  lane_metrics : Metrics.t array;
+  lat_stats : Stats.t array;
+  hops_stats : Stats.t array;
+  data_lat_stats : Stats.t array;
+  meta_lag_stats : Stats.t array;
   hop_budget : int;
-  replicas_created_per_level : int array;
+  replicas_created_per_level : int array array;
   data_holders : server_id array array;
-  pending_fetches : (int, fetch_state) Hashtbl.t;
-  pending_queries : (int, query_ctx) Hashtbl.t;
-  mutable next_qid : int;
-  mutable next_session : int;
-  mutable next_fetch : int;
+  shard_ix : int array;
+  pending_fetches : (int, fetch_state) Hashtbl.t array;
+  pending_queries : (int, query_ctx) Hashtbl.t array;
+  query_seq : int array;
+  fetch_seq : int array;
+  session_seq : int array;
+  meta_version : int array;
   mutable last_src : server_id;
   epochs : int array;
   audit : Invariant.t option;
 }
 
 let now t = Engine.now t.engine
+
+(* The executing lane's metrics part.  Every counter bump lands in the
+   part owned by the domain running the current event, so parts never
+   race; [metrics] folds them back into one struct. *)
+let met t = t.lane_metrics.(Engine.lane_index t.engine)
+
+let fold_stats arr = Array.fold_left Stats.merge (Stats.create ()) arr
+
+let metrics t =
+  Metrics.merged
+    ~parts:(Array.to_list t.lane_metrics)
+    ~latency:(fold_stats t.lat_stats) ~hops:(fold_stats t.hops_stats)
+    ~data_latency:(fold_stats t.data_lat_stats) ~meta_lag:(fold_stats t.meta_lag_stats)
+
+(* Request ids encode their issuer ([(src + 1) lsl 32 lor seq], allocated
+   from a per-server counter) so any context can find both the owning
+   server and its shard's pending table without global state. *)
+let id_owner id = (id lsr 32) - 1
+
+let q_tbl t qid = t.pending_queries.(t.shard_ix.(id_owner qid))
+
+let f_tbl t fid = t.pending_fetches.(t.shard_ix.(id_owner fid))
+
+(* Run [f] in [target]'s context: inline when already there (or in a
+   driver/sync context, where every shard lane is idle), otherwise
+   re-scheduled to [target]'s lane after one network delay — the same
+   price the failure signal that triggered it already paid, and never
+   below the engine's lookahead.  The decision depends only on context
+   ids, never on the shard layout, so one-domain and multi-domain runs
+   defer identically. *)
+let finalize_at t target f =
+  let c = Engine.ctx t.engine in
+  if c = target || c < 0 then f ()
+  else Engine.schedule ~owner:target t.engine ~delay:t.config.Config.network_delay f
 
 (* One full audit pass over engine time, every server, and ownership
    placement — runs between events (engine observer) and at the end of
@@ -135,7 +175,8 @@ let rec send t ~from ~to_ payload =
      not query replies, which are part of the lookup itself. *)
   (match payload with
   | Load_probe _ | Load_reply _ | Replicate _ ->
-    t.metrics.Metrics.control_messages <- t.metrics.Metrics.control_messages + 1
+    let m = met t in
+    m.Metrics.control_messages <- m.Metrics.control_messages + 1
   | Query _ | Query_reply _ | Data_request _ | Data_reply _ -> ());
   (* The network decides: silent loss and partitions vanish the message —
      the sender learns nothing, so recovery is the issuer's timer's job. *)
@@ -148,9 +189,13 @@ let rec send t ~from ~to_ payload =
         (Event.Net_transit { qid = q.qid; attempt = q.attempt; dst_server = to_; delay })
     | Query _ | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_request _
     | Data_reply _ -> ());
-    Engine.schedule t.engine ~delay (fun () -> deliver t ~to_ msg)
-  | Net.Lost -> t.metrics.Metrics.net_lost <- t.metrics.Metrics.net_lost + 1
-  | Net.Blocked -> t.metrics.Metrics.net_blocked <- t.metrics.Metrics.net_blocked + 1
+    Engine.schedule ~owner:to_ t.engine ~delay (fun () -> deliver t ~to_ msg)
+  | Net.Lost ->
+    let m = met t in
+    m.Metrics.net_lost <- m.Metrics.net_lost + 1
+  | Net.Blocked ->
+    let m = met t in
+    m.Metrics.net_blocked <- m.Metrics.net_blocked + 1
 
 and deliver t ~to_ msg =
   let s = t.servers.(to_) in
@@ -196,7 +241,7 @@ and bounce t ~dead msg =
   match msg.msg_payload with
   | Query q ->
     let sender = msg.msg_from in
-    Engine.schedule t.engine ~delay:t.config.Config.network_delay (fun () ->
+    Engine.schedule ~owner:sender t.engine ~delay:t.config.Config.network_delay (fun () ->
         let s = t.servers.(sender) in
         if not s.Server.alive then finish_dropped t q Server_dead
         else begin
@@ -252,7 +297,7 @@ and kick t sid =
         /. s.Server.speed
       in
       let epoch = t.epochs.(sid) in
-      Engine.schedule t.engine ~delay:duration (fun () ->
+      Engine.schedule ~owner:sid t.engine ~delay:duration (fun () ->
           if t.epochs.(sid) = epoch && s.Server.alive then begin
             Load_meter.end_busy s.Server.load (now t);
             s.Server.serving <- false;
@@ -293,13 +338,14 @@ and process t sid msg =
        busy time, already accounted by this service slot. *)
     send t ~from:sid ~to_:client (Data_reply { fetch_id; node })
   | Data_reply { fetch_id; _ } -> (
-    match Hashtbl.find_opt t.pending_fetches fetch_id with
+    match Hashtbl.find_opt (f_tbl t fetch_id) fetch_id with
     | None -> ()
     | Some f ->
-      Hashtbl.remove t.pending_fetches fetch_id;
-      t.metrics.Metrics.data_completed <- t.metrics.Metrics.data_completed + 1;
+      Hashtbl.remove (f_tbl t fetch_id) fetch_id;
+      let m = met t in
+      m.Metrics.data_completed <- m.Metrics.data_completed + 1;
       let latency = now t -. f.f_started in
-      Stats.add t.metrics.Metrics.data_latency latency;
+      Stats.add t.data_lat_stats.(f.f_client) latency;
       Option.iter (fun k -> k (Fetched { latency })) f.f_on_done));
   (* §3.3 step 1: a server checks its load after each processed query. *)
   maybe_start_session t s
@@ -340,7 +386,8 @@ and process_query ?from t s q =
   absorb_path t s q.path;
   if q.hops > 0 && not (Server.hosts s q.target) then begin
     q.stale_forwards <- q.stale_forwards + 1;
-    t.metrics.Metrics.stale_forwards <- t.metrics.Metrics.stale_forwards + 1;
+    let m = met t in
+    m.Metrics.stale_forwards <- m.Metrics.stale_forwards + 1;
     (* Stale-forward feedback — the alive-host dual of the bounce.  The
        sender's map entry claiming this server hosts [q.target] is wrong;
        tell it so, exactly as bounce-back failure detection does for dead
@@ -353,7 +400,7 @@ and process_query ?from t s q =
     match from with
     | Some sender when sender <> s.Server.id ->
       let self = s.Server.id in
-      Engine.schedule t.engine ~delay:t.config.Config.network_delay (fun () ->
+      Engine.schedule ~owner:sender t.engine ~delay:t.config.Config.network_delay (fun () ->
           let snd = t.servers.(sender) in
           if snd.Server.alive then begin
             Server.forget_server snd stale_target self;
@@ -411,10 +458,12 @@ and process_query ?from t s q =
     in
     if shortcut then begin
       q.shortcut_hops <- q.shortcut_hops + 1;
-      t.metrics.Metrics.shortcut_forwards <- t.metrics.Metrics.shortcut_forwards + 1
+      let m = met t in
+      m.Metrics.shortcut_forwards <- m.Metrics.shortcut_forwards + 1
     end;
     append_path_entry t s q;
-    t.metrics.Metrics.query_forwards <- t.metrics.Metrics.query_forwards + 1;
+    let m = met t in
+    m.Metrics.query_forwards <- m.Metrics.query_forwards + 1;
     q.hops <- q.hops + 1;
     if q.hops > t.hop_budget then finish_dropped t q Hop_budget
     else begin
@@ -439,26 +488,30 @@ and process_query ?from t s q =
 (* A query attempt reached a terminal drop.  Only the newest attempt's
    fate finalizes the request: explicit drops of superseded attempts are
    discarded (a retransmission is already racing them), and drops of
-   already-finalized requests are stale noise from the network. *)
+   already-finalized requests are stale noise from the network.
+   Finalization is issuer state (the pending table, the callback), so a
+   drop detected on another server's context travels back to the issuer
+   through [finalize_at] — the re-check happens there. *)
 and finish_dropped t q reason =
-  match Hashtbl.find_opt t.pending_queries q.qid with
-  | None -> ()
-  | Some ctx when q.attempt < ctx.qc_attempt -> ()
-  | Some ctx ->
-    Hashtbl.remove t.pending_queries q.qid;
-    Metrics.drop t.metrics reason ~now:(now t);
-    if Obs.spans_on t.obs then
-      (* lint: obs-in-hot-path terminal drop closes the span; spans level *)
-      Obs.record t.obs ~server:ctx.qc_src
-        (Event.Query_dropped { qid = q.qid; reason = drop_label reason });
-    Option.iter (fun k -> k (Dropped reason)) ctx.qc_on_complete
+  finalize_at t q.src_server (fun () ->
+      match Hashtbl.find_opt (q_tbl t q.qid) q.qid with
+      | None -> ()
+      | Some ctx when q.attempt < ctx.qc_attempt -> ()
+      | Some ctx ->
+        Hashtbl.remove (q_tbl t q.qid) q.qid;
+        Metrics.drop (met t) reason ~now:(now t);
+        if Obs.spans_on t.obs then
+          (* lint: obs-in-hot-path terminal drop closes the span; spans level *)
+          Obs.record t.obs ~server:ctx.qc_src
+            (Event.Query_dropped { qid = q.qid; reason = drop_label reason });
+        Option.iter (fun k -> k (Dropped reason)) ctx.qc_on_complete)
 
 (* ------------------------------------------------------------------ *)
 (* Data retrieval (§2.1 step two)                                      *)
 (* ------------------------------------------------------------------ *)
 
 and fetch_attempt t fetch_id =
-  match Hashtbl.find_opt t.pending_fetches fetch_id with
+  match Hashtbl.find_opt (f_tbl t fetch_id) fetch_id with
   | None -> ()
   | Some f -> (
     let holders = t.data_holders.(f.f_node) in
@@ -470,16 +523,21 @@ and fetch_attempt t fetch_id =
     in
     match untried with
     | [] ->
-      Hashtbl.remove t.pending_fetches fetch_id;
-      t.metrics.Metrics.data_dropped <- t.metrics.Metrics.data_dropped + 1;
+      Hashtbl.remove (f_tbl t fetch_id) fetch_id;
+      let m = met t in
+      m.Metrics.data_dropped <- m.Metrics.data_dropped + 1;
       Option.iter (fun k -> k Fetch_failed) f.f_on_done
     | _ ->
-      let holder = List.nth untried (Splitmix.int t.rng (List.length untried)) in
+      (* The holder choice draws from the {e client's} stream, so the
+         sequence depends only on the client's own event order. *)
+      let rng = t.servers.(f.f_client).Server.rng in
+      let holder = List.nth untried (Splitmix.int rng (List.length untried)) in
       Hashtbl.replace f.f_tried holder ();
       send t ~from:f.f_client ~to_:holder
         (Data_request { fetch_id; node = f.f_node; client = f.f_client }))
 
-and fetch_retry t fetch_id ~failed:_ = fetch_attempt t fetch_id
+and fetch_retry t fetch_id ~failed:_ =
+  finalize_at t (id_owner fetch_id) (fun () -> fetch_attempt t fetch_id)
 
 (* Ground truth for oracle routing: the servers that actually host a node
    right now.  A linear scan per call — acceptable because the oracle is an
@@ -499,29 +557,34 @@ and ground_truth_map t node =
     Node_map.empty t.servers
 
 and complete_query t s q =
-  match Hashtbl.find_opt t.pending_queries q.qid with
+  (* Always runs on the issuer: a local resolve is at [q.src_server] and a
+     [Query_reply] is delivered there. *)
+  match Hashtbl.find_opt (q_tbl t q.qid) q.qid with
   | None ->
     (* The request was already finalized (another attempt won the race, or
        the last timer expired): a duplicate result, discarded. *)
-    t.metrics.Metrics.late_replies <- t.metrics.Metrics.late_replies + 1
+    let m = met t in
+    m.Metrics.late_replies <- m.Metrics.late_replies + 1
   | Some ctx ->
     (* First resolution wins, whichever attempt carried it. *)
-    Hashtbl.remove t.pending_queries q.qid;
+    Hashtbl.remove (q_tbl t q.qid) q.qid;
     (* The source caches its lookup result even under endpoint-only caching;
        with path propagation it absorbs the whole route. *)
     absorb_path ~at_endpoint:true t s q.path;
     let latency = now t -. q.born in
-    Metrics.resolve t.metrics ~latency ~hops:q.hops ~now:(now t);
+    Metrics.resolve (met t) ~latency ~hops:q.hops ~now:(now t);
+    Stats.add t.lat_stats.(ctx.qc_src) latency;
+    Stats.add t.hops_stats.(ctx.qc_src) (float_of_int q.hops);
     if Obs.spans_on t.obs then
       (* lint: obs-in-hot-path resolution closes the span; spans level *)
       Obs.record t.obs ~server:ctx.qc_src
         (Event.Query_resolved { qid = q.qid; latency; hops = q.hops });
-    (* Meta-data staleness at the resolving host, vs the owner's truth. *)
-    (match Server.find_hosted t.servers.(t.owner_of.(q.dst)) q.dst with
-    | Some owner_rec ->
-      Stats.add t.metrics.Metrics.meta_lag
-        (float_of_int (max 0 (owner_rec.Server.h_meta_version - q.result_meta)))
-    | None -> ());
+    (* Meta-data staleness at the resolving host, vs the owner's truth.
+       The authoritative version lives in [t.meta_version] (updated only
+       between events, by [update_meta]/owner writes), not read out of the
+       owner server's records — those belong to another shard. *)
+    Stats.add t.meta_lag_stats.(ctx.qc_src)
+      (float_of_int (max 0 (t.meta_version.(q.dst) - q.result_meta)));
     Option.iter
       (fun k ->
         k (Resolved { latency; hops = q.hops; map = q.result_map; meta_version = q.result_meta }))
@@ -533,16 +596,19 @@ and complete_query t s q =
 
 and maybe_start_session t s =
   if Replication.should_start s ~now:(now t) then begin
-    t.metrics.Metrics.sessions_started <- t.metrics.Metrics.sessions_started + 1;
-    let session_id = t.next_session in
-    t.next_session <- t.next_session + 1;
+    let m = met t in
+    m.Metrics.sessions_started <- m.Metrics.sessions_started + 1;
+    let sid = s.Server.id in
+    let session_id = ((sid + 1) lsl 32) lor t.session_seq.(sid) in
+    t.session_seq.(sid) <- t.session_seq.(sid) + 1;
     let sess = { Server.session_id; tried = []; attempts = 0 } in
     s.Server.session <- Some sess;
     probe_next_peer t s sess
   end
 
 and abort_session t s =
-  t.metrics.Metrics.sessions_aborted <- t.metrics.Metrics.sessions_aborted + 1;
+  let m = met t in
+  m.Metrics.sessions_aborted <- m.Metrics.sessions_aborted + 1;
   (match s.Server.session with
   | Some sess when Obs.counters_on t.obs ->
     (* lint: obs-in-hot-path session aborts are rare; counters level *)
@@ -567,7 +633,7 @@ and probe_next_peer t s sess =
        before a generous round-trip budget. *)
     let attempts_at_send = sess.Server.attempts in
     let timeout = (4.0 *. t.config.Config.network_delay) +. 0.5 in
-    Engine.schedule t.engine ~delay:timeout (fun () ->
+    Engine.schedule ~owner:s.Server.id t.engine ~delay:timeout (fun () ->
         match s.Server.session with
         | Some cur
           when cur.Server.session_id = sess.Server.session_id
@@ -612,14 +678,16 @@ and handle_replicate t s ~sender ~sender_load replicas =
           (* lint: obs-in-hot-path replica churn is rare; counters level *)
           Obs.record t.obs ~server:s.Server.id
             (Event.Replica_created { node = payload.rp_node; from_server = sender });
-        Metrics.replica_created t.metrics ~now:time;
+        Metrics.replica_created (met t) ~now:time;
         let level = Tree.depth t.tree payload.rp_node in
-        t.replicas_created_per_level.(level) <- t.replicas_created_per_level.(level) + 1
+        let per_level = t.replicas_created_per_level.(Engine.lane_index t.engine) in
+        per_level.(level) <- per_level.(level) + 1
       | `Merged | `Rejected -> ())
     replicas;
   (* Rank-based evictions performed to make room (§3.5). *)
-  t.metrics.Metrics.replicas_evicted <-
-    t.metrics.Metrics.replicas_evicted + (s.Server.replicas_evicted - evicted_before);
+  let m = met t in
+  m.Metrics.replicas_evicted <-
+    m.Metrics.replicas_evicted + (s.Server.replicas_evicted - evicted_before);
   if !installed > 0 then
     (* §3.3 step 4, receiver side: assume the ideal post-shed load until the
        next measurement window lands. *)
@@ -648,7 +716,7 @@ let place_owners config tree rng =
     Array.iteri (fun rank node -> owners.(node) <- rank mod s) order;
     owners
 
-let create ?(monitor = true) ?(obs = Obs.null) ~config ~tree () =
+let create ?(monitor = true) ?(obs = Obs.null) ?shard_of ~config ~tree () =
   Config.validate config;
   let rng = Splitmix.create config.Config.seed in
   let engine = Engine.create ~scheduler:config.Config.scheduler () in
@@ -695,9 +763,31 @@ let create ?(monitor = true) ?(obs = Obs.null) ~config ~tree () =
         Net.Uniform { base = config.Config.network_delay; jitter = config.Config.net_jitter }
       else Net.Constant config.Config.network_delay
     in
-    Net.create ~loss:config.Config.net_loss ~latency ~obs
+    Net.create ~loss:config.Config.net_loss ~latency ~obs ~peers:config.Config.num_servers
       ~rng:(Splitmix.create (config.Config.seed lxor 0x4e455431)) ()
   in
+  (* Effective domain count: multi-domain needs a positive lookahead
+     (the minimum network latency bounds how far a shard may run ahead)
+     and shard-local reads — oracle routing scans every server, so it
+     pins the sequential engine.  The observable outputs are identical
+     either way; only wall-clock changes. *)
+  let k =
+    let requested = config.Config.engine_domains in
+    if requested <= 1 || config.Config.oracle_maps || Net.min_latency net <= 0.0 then 1
+    else min requested config.Config.num_servers
+  in
+  let shard_ix =
+    let assign = match shard_of with Some f -> f | None -> fun sid -> sid mod k in
+    Array.init config.Config.num_servers (fun sid -> if k = 1 then 0 else assign sid)
+  in
+  if k > 1 then begin
+    Engine.configure engine ~domains:k ~lookahead:(Net.min_latency net) ~shard_of:shard_ix;
+    (* Per-lane flight recording, stamped with the engine's canonical
+       event key so the merged view matches the sequential ring. *)
+    Obs.set_multi obs ~lanes:(Engine.lane_count engine) ~stamp:(fun () -> Engine.stamp engine)
+  end;
+  let lanes = Engine.lane_count engine in
+  let metrics_rng = Splitmix.split rng in
   let t =
     {
       engine;
@@ -708,15 +798,22 @@ let create ?(monitor = true) ?(obs = Obs.null) ~config ~tree () =
       rng;
       net;
       obs;
-      metrics = Metrics.create ~rng:(Splitmix.split rng);
+      lane_metrics = Array.init lanes (fun _ -> Metrics.create ~rng:metrics_rng);
+      lat_stats = Array.init config.Config.num_servers (fun _ -> Stats.create ());
+      hops_stats = Array.init config.Config.num_servers (fun _ -> Stats.create ());
+      data_lat_stats = Array.init config.Config.num_servers (fun _ -> Stats.create ());
+      meta_lag_stats = Array.init config.Config.num_servers (fun _ -> Stats.create ());
       hop_budget = (4 * Tree.max_depth tree) + config.Config.hop_budget_slack;
-      replicas_created_per_level = Array.make (Tree.max_depth tree + 1) 0;
+      replicas_created_per_level =
+        Array.init lanes (fun _ -> Array.make (Tree.max_depth tree + 1) 0);
       data_holders;
-      pending_fetches = Hashtbl.create 64;
-      pending_queries = Hashtbl.create 256;
-      next_qid = 0;
-      next_session = 0;
-      next_fetch = 0;
+      shard_ix;
+      pending_fetches = Array.init (max 1 k) (fun _ -> Hashtbl.create 64);
+      pending_queries = Array.init (max 1 k) (fun _ -> Hashtbl.create 256);
+      query_seq = Array.make config.Config.num_servers 0;
+      fetch_seq = Array.make config.Config.num_servers 0;
+      session_seq = Array.make config.Config.num_servers 0;
+      meta_version = Array.make (Tree.size tree) 0;
       last_src = 0;
       epochs = Array.make config.Config.num_servers 0;
       audit = (if Invariant.enabled config then Some (Invariant.create ()) else None);
@@ -765,7 +862,9 @@ let create ?(monitor = true) ?(obs = Obs.null) ~config ~tree () =
       done)
     servers;
   if monitor then begin
-    (* Per-second load sampling for the Fig. 6 series. *)
+    (* Per-second load sampling for the Fig. 6 series.  It reads every
+       server, so it runs in the sync context — solo, all lanes idle —
+       and its series land in one lane's part (single writer). *)
     let rec sample () =
       let time = now t in
       let sum = ref 0.0 and mx = ref 0.0 and alive = ref 0 in
@@ -779,12 +878,13 @@ let create ?(monitor = true) ?(obs = Obs.null) ~config ~tree () =
           end)
         servers;
       if !alive > 0 then begin
-        Timeseries.add t.metrics.Metrics.load_mean_ts time (!sum /. float_of_int !alive);
-        Timeseries.observe_max t.metrics.Metrics.load_max_ts time !mx
+        let m = met t in
+        Timeseries.add m.Metrics.load_mean_ts time (!sum /. float_of_int !alive);
+        Timeseries.observe_max m.Metrics.load_max_ts time !mx
       end;
-      Engine.schedule t.engine ~delay:1.0 sample
+      Engine.schedule ~owner:Engine.sync_ctx t.engine ~delay:1.0 sample
     in
-    Engine.schedule t.engine ~delay:0.5 sample;
+    Engine.schedule ~owner:Engine.sync_ctx t.engine ~delay:0.5 sample;
     (* Soft-state decay: periodic idle-replica eviction, staggered across
        servers to avoid synchronized scan storms. *)
     let period = config.Config.eviction_scan_period in
@@ -793,13 +893,14 @@ let create ?(monitor = true) ?(obs = Obs.null) ~config ~tree () =
         let rec scan () =
           if s.Server.alive then begin
             let evicted = Server.idle_scan s ~now:(now t) in
-            t.metrics.Metrics.replicas_evicted <-
-              t.metrics.Metrics.replicas_evicted + List.length evicted
+            let m = met t in
+            m.Metrics.replicas_evicted <-
+              m.Metrics.replicas_evicted + List.length evicted
           end;
-          Engine.schedule t.engine ~delay:period scan
+          Engine.schedule ~owner:s.Server.id t.engine ~delay:period scan
         in
         let phase = Splitmix.float rng period in
-        Engine.schedule t.engine ~delay:phase scan)
+        Engine.schedule ~owner:s.Server.id t.engine ~delay:phase scan)
       servers
   end;
   t
@@ -847,19 +948,20 @@ let start_query_attempt t qid ctx =
 let rec arm_query_timer t qid =
   let cfg = t.config in
   if cfg.Config.rpc_timeout > 0.0 then
-    match Hashtbl.find_opt t.pending_queries qid with
+    match Hashtbl.find_opt (q_tbl t qid) qid with
     | None -> ()
     | Some ctx ->
       let attempt = ctx.qc_attempt in
       let timeout =
         Net.backoff ~base:cfg.Config.rpc_timeout ~factor:cfg.Config.retry_backoff ~attempt
       in
-      Engine.schedule t.engine ~delay:timeout (fun () ->
-          match Hashtbl.find_opt t.pending_queries qid with
+      (* The timer is issuer state and runs on the issuer's lane. *)
+      Engine.schedule ~owner:(id_owner qid) t.engine ~delay:timeout (fun () ->
+          match Hashtbl.find_opt (q_tbl t qid) qid with
           | Some cur when cur.qc_attempt = attempt ->
             if attempt >= t.config.Config.max_retries then begin
-              Hashtbl.remove t.pending_queries qid;
-              Metrics.drop t.metrics Timed_out ~now:(now t);
+              Hashtbl.remove (q_tbl t qid) qid;
+              Metrics.drop (met t) Timed_out ~now:(now t);
               if Obs.spans_on t.obs then
                 (* lint: obs-in-hot-path final timer expiry closes the span; spans level *)
                 Obs.record t.obs ~server:cur.qc_src
@@ -868,7 +970,8 @@ let rec arm_query_timer t qid =
             end
             else begin
               cur.qc_attempt <- attempt + 1;
-              t.metrics.Metrics.query_retransmits <- t.metrics.Metrics.query_retransmits + 1;
+              let m = met t in
+              m.Metrics.query_retransmits <- m.Metrics.query_retransmits + 1;
               if Obs.spans_on t.obs then
                 (* lint: obs-in-hot-path timer-driven retries are rare; spans level *)
                 Obs.record t.obs ~server:cur.qc_src
@@ -882,14 +985,15 @@ let inject ?on_complete t ~src ~dst =
   if src < 0 || src >= num_servers t then invalid_arg "Cluster.inject: bad source server";
   if dst < 0 || dst >= Tree.size t.tree then invalid_arg "Cluster.inject: bad destination node";
   let time = now t in
-  t.metrics.Metrics.injected <- t.metrics.Metrics.injected + 1;
-  Timeseries.incr t.metrics.Metrics.injected_ts time;
-  let qid = t.next_qid in
-  t.next_qid <- qid + 1;
+  let m = met t in
+  m.Metrics.injected <- m.Metrics.injected + 1;
+  Timeseries.incr m.Metrics.injected_ts time;
+  let qid = ((src + 1) lsl 32) lor t.query_seq.(src) in
+  t.query_seq.(src) <- t.query_seq.(src) + 1;
   let ctx =
     { qc_src = src; qc_dst = dst; qc_born = time; qc_attempt = 0; qc_on_complete = on_complete }
   in
-  Hashtbl.add t.pending_queries qid ctx;
+  Hashtbl.add (q_tbl t qid) qid ctx;
   if Obs.spans_on t.obs then
     (* lint: obs-in-hot-path span root; spans level *)
     Obs.record t.obs ~server:src (Event.Query_injected { qid; dst });
@@ -928,24 +1032,26 @@ let run_until t time =
 let rec arm_fetch_timer t fetch_id =
   let cfg = t.config in
   if cfg.Config.rpc_timeout > 0.0 then
-    match Hashtbl.find_opt t.pending_fetches fetch_id with
+    match Hashtbl.find_opt (f_tbl t fetch_id) fetch_id with
     | None -> ()
     | Some f ->
       let attempt = f.f_attempts in
       let timeout =
         Net.backoff ~base:cfg.Config.rpc_timeout ~factor:cfg.Config.retry_backoff ~attempt
       in
-      Engine.schedule t.engine ~delay:timeout (fun () ->
-          match Hashtbl.find_opt t.pending_fetches fetch_id with
+      Engine.schedule ~owner:(id_owner fetch_id) t.engine ~delay:timeout (fun () ->
+          match Hashtbl.find_opt (f_tbl t fetch_id) fetch_id with
           | Some cur when cur.f_attempts = attempt ->
             if attempt >= t.config.Config.max_retries then begin
-              Hashtbl.remove t.pending_fetches fetch_id;
-              t.metrics.Metrics.data_dropped <- t.metrics.Metrics.data_dropped + 1;
+              Hashtbl.remove (f_tbl t fetch_id) fetch_id;
+              let m = met t in
+              m.Metrics.data_dropped <- m.Metrics.data_dropped + 1;
               Option.iter (fun k -> k Fetch_failed) cur.f_on_done
             end
             else begin
               cur.f_attempts <- attempt + 1;
-              t.metrics.Metrics.fetch_retransmits <- t.metrics.Metrics.fetch_retransmits + 1;
+              let m = met t in
+              m.Metrics.fetch_retransmits <- m.Metrics.fetch_retransmits + 1;
               let holders = t.data_holders.(cur.f_node) in
               if Array.for_all (Hashtbl.mem cur.f_tried) holders then Hashtbl.reset cur.f_tried;
               fetch_attempt t fetch_id;
@@ -956,10 +1062,11 @@ let rec arm_fetch_timer t fetch_id =
 let fetch ?on_done t ~client ~node =
   if client < 0 || client >= num_servers t then invalid_arg "Cluster.fetch: bad client";
   if node < 0 || node >= Tree.size t.tree then invalid_arg "Cluster.fetch: bad node";
-  t.metrics.Metrics.data_requests <- t.metrics.Metrics.data_requests + 1;
-  let fetch_id = t.next_fetch in
-  t.next_fetch <- fetch_id + 1;
-  Hashtbl.add t.pending_fetches fetch_id
+  let m = met t in
+  m.Metrics.data_requests <- m.Metrics.data_requests + 1;
+  let fetch_id = ((client + 1) lsl 32) lor t.fetch_seq.(client) in
+  t.fetch_seq.(client) <- t.fetch_seq.(client) + 1;
+  Hashtbl.add (f_tbl t fetch_id) fetch_id
     {
       f_client = client;
       f_node = node;
@@ -981,6 +1088,8 @@ let update_meta t node =
   match Server.find_hosted t.servers.(t.owner_of.(node)) node with
   | Some h ->
     h.Server.h_meta_version <- h.Server.h_meta_version + 1;
+    (* mirror of the owner's version, readable from any shard *)
+    t.meta_version.(node) <- h.Server.h_meta_version;
     h.Server.h_meta_version
   | None -> 0 (* unreachable: owners host their nodes durably *)
 
@@ -1051,6 +1160,7 @@ let kill t sid =
     List.iter (fun node -> Server.evict_replica s node) (Server.replica_nodes s);
     Cache.clear s.Server.cache;
     Hashtbl.reset s.Server.known_loads;
+    s.Server.peer_load_sum <- 0.0;
     s.Server.session <- None
   end
 
@@ -1094,7 +1204,10 @@ let replicas_per_level t which =
   let levels = Tree.level_sizes t.tree in
   let counts = Array.make (Array.length levels) 0 in
   (match which with
-  | `Created -> Array.blit t.replicas_created_per_level 0 counts 0 (Array.length counts)
+  | `Created ->
+    Array.iter
+      (fun lane -> Array.iteri (fun d c -> counts.(d) <- counts.(d) + c) lane)
+      t.replicas_created_per_level
   | `Current ->
     Array.iter
       (fun s ->

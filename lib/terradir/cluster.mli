@@ -79,16 +79,34 @@ type t = {
   obs : Terradir_obs.Obs.t;
       (** the observability sink every layer records into; the null sink
           (the default) makes every hook a single dead branch *)
-  metrics : Metrics.t;
+  lane_metrics : Metrics.t array;
+      (** one metrics part per engine lane (exactly one on a sequential
+          engine); every counter bump lands in the executing lane's part.
+          Read results through {!metrics}, which folds the parts *)
+  lat_stats : Terradir_util.Stats.t array;
+      (** per-issuer resolution-latency accumulators; folded in server-id
+          order by {!metrics}, so the merged moments are independent of
+          the shard layout *)
+  hops_stats : Terradir_util.Stats.t array;
+  data_lat_stats : Terradir_util.Stats.t array;
+  meta_lag_stats : Terradir_util.Stats.t array;
   hop_budget : int;
-  replicas_created_per_level : int array;
+  replicas_created_per_level : int array array;  (** per lane, per level *)
   data_holders : server_id array array;
       (** node → servers durably holding its data (owner + static copies) *)
-  pending_fetches : (int, fetch_state) Hashtbl.t;
-  pending_queries : (int, query_ctx) Hashtbl.t;
-  mutable next_qid : int;
-  mutable next_session : int;
-  mutable next_fetch : int;
+  shard_ix : int array;  (** server → engine shard lane (all 0 when K = 1) *)
+  pending_fetches : (int, fetch_state) Hashtbl.t array;  (** per shard *)
+  pending_queries : (int, query_ctx) Hashtbl.t array;  (** per shard *)
+  query_seq : int array;
+      (** per-server request-id counters; ids are
+          [(issuer + 1) lsl 32 lor seq], so issuer and shard are
+          recoverable from any context *)
+  fetch_seq : int array;
+  session_seq : int array;
+  meta_version : int array;
+      (** per-node authoritative meta-data version — the owner's truth,
+          mirrored here so resolution-time staleness measurement reads no
+          other shard's server records *)
   mutable last_src : server_id;
   epochs : int array;  (** bumped on kill/revive; cancels stale events *)
   audit : Invariant.t option;
@@ -98,9 +116,17 @@ type t = {
           {!run_until}, which also delivers the collected report *)
 }
 
+val metrics : t -> Metrics.t
+(** The cluster's measurements: per-lane counter parts summed, per-server
+    distribution accumulators folded in id order.  The result is
+    byte-identical for every [engine_domains] value (the parallel
+    engine's determinism contract).  Builds a fresh struct per call —
+    read it once per reporting step, not per sample. *)
+
 val create :
   ?monitor:bool ->
   ?obs:Terradir_obs.Obs.t ->
+  ?shard_of:(int -> int) ->
   config:Config.t ->
   tree:Terradir_namespace.Tree.t ->
   unit ->
@@ -110,6 +136,12 @@ val create :
     neighbor contexts, give each server [bootstrap_peers] random known
     peers, and (when [monitor], default true) schedule the per-second load
     sampler and the periodic replica idle scans.
+
+    When [config.engine_domains >= 2] (and the run admits a safe lookahead:
+    no [oracle_maps], positive latency floor) the engine is switched to the
+    sharded conservative parallel mode, servers assigned to shards by
+    [shard_of] (default [fun sid -> sid mod k]; the option is a test hook
+    for adversarial layouts — results must not depend on it).
 
     [obs] (default {!Terradir_obs.Obs.null}) is the flight-recorder sink:
     the cluster points its clock at the engine, threads it into every

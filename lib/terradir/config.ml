@@ -40,6 +40,7 @@ type t = {
   audit : bool;
   audit_every : int;
   scheduler : [ `Heap | `Calendar ];
+  engine_domains : int;
   seed : int;
 }
 
@@ -86,6 +87,7 @@ let default =
     audit = false;
     audit_every = 10_000;
     scheduler = `Heap;
+    engine_domains = 1;
     seed = 42;
   }
 
@@ -120,7 +122,8 @@ let validate c =
   if c.max_remote_digests < 0 then fail "max_remote_digests must be non-negative";
   if c.data_copies < 1 then fail "data_copies must be >= 1";
   if c.data_service_mean <= 0.0 then fail "data_service_mean must be positive";
-  if c.audit_every < 1 then fail "audit_every must be >= 1"
+  if c.audit_every < 1 then fail "audit_every must be >= 1";
+  if c.engine_domains < 1 then fail "engine_domains must be >= 1"
 
 let scaled c ~factor =
   if factor <= 0.0 then invalid_arg "Config.scaled: factor must be positive";

@@ -107,6 +107,14 @@ type t = {
           the binary heap, [`Calendar] the calendar queue — O(1) expected
           add/pop at steady state, preferred for capacity-scale runs.
           Pop order is identical either way; the knob is performance-only *)
+  engine_domains : int;
+      (** OCaml domains driving the event loop: 1 (default) is the
+          sequential engine; [k >= 2] shards servers across [k] domains
+          under the conservative synchronization windows of
+          [Engine.configure].  Every observable output is byte-identical
+          for any value — the knob is performance-only.  Clamped to
+          [num_servers]; falls back to 1 when the run leaves no safe
+          lookahead ([oracle_maps], or a latency floor of zero) *)
   seed : int;
 }
 

@@ -43,6 +43,9 @@ let test_remote t ~server ~node =
 
 let fold_remote t ~init ~f = Lru.fold t.remotes ~init ~f:(fun acc server r -> f acc server r.bloom)
 
+let fold_remote_until t ~init ~f =
+  Lru.fold_until t.remotes ~init ~f:(fun acc server r -> f acc server r.bloom)
+
 let remote_count t = Lru.length t.remotes
 
 let last_version_sent t ~peer = Option.value ~default:0 (Hashtbl.find_opt t.sent peer)

@@ -31,6 +31,16 @@ val test_remote : t -> server:int -> node:int -> bool option
 val fold_remote : t -> init:'a -> f:('a -> int -> Terradir_bloom.Bloom.t -> 'a) -> 'a
 (** Fold over (server, digest) pairs currently held. *)
 
+val fold_remote_until :
+  t ->
+  init:'a ->
+  f:('a -> int -> Terradir_bloom.Bloom.t -> ('a, 'a) Either.t) ->
+  'a
+(** Like {!fold_remote} in MRU-first order, but [f] answering [Right acc]
+    stops the walk.  The routing shortcut consults only a short MRU prefix
+    on every decision; walking the whole store there dominated large
+    deployments' event cost. *)
+
 val remote_count : t -> int
 
 val last_version_sent : t -> peer:int -> int

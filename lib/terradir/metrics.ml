@@ -38,12 +38,7 @@ type t = {
   load_max_ts : Timeseries.t;
 }
 
-(* [rng] is accepted (and split off by the caller) for compatibility: the
-   reservoir sampler it used to feed is gone — log-bucketed histograms
-   need no randomness — but dropping the split here would shift every
-   downstream draw and invalidate the golden CSVs. *)
-let create ~rng =
-  ignore (rng : Splitmix.t);
+let empty () =
   {
     injected = 0;
     resolved = 0;
@@ -81,6 +76,16 @@ let create ~rng =
     load_max_ts = Timeseries.create ();
   }
 
+(* [rng] is accepted (and split off by the caller) for compatibility: the
+   reservoir sampler it used to feed is gone — log-bucketed histograms
+   need no randomness — but dropping the split here would shift every
+   downstream draw and invalidate the golden CSVs.  The cluster splits
+   exactly one stream off regardless of how many per-lane parts it
+   creates, for the same reason. *)
+let create ~rng =
+  ignore (rng : Splitmix.t);
+  empty ()
+
 let dropped_total t =
   t.dropped_queue + t.dropped_hops + t.dropped_dead_end + t.dropped_server_dead
   + t.dropped_timeout
@@ -94,17 +99,70 @@ let drop t reason ~now =
   | Types.Timed_out -> t.dropped_timeout <- t.dropped_timeout + 1);
   Timeseries.incr t.drops_ts now
 
+(* The latency/hops [Stats] live per-server in the cluster (so a
+   multi-domain run can fold them back in a shard-count-independent
+   order); [resolve] only maintains the lane-local counter and the
+   integer histogram state.  [merged] reunites the two. *)
 let resolve t ~latency ~hops ~now =
   ignore now;
   t.resolved <- t.resolved + 1;
-  Stats.add t.latency latency;
   Hist.add t.latency_hist latency;
-  Stats.add t.hops (float_of_int hops);
   Hist.add t.hops_hist (float_of_int hops)
 
 let replica_created t ~now =
   t.replicas_created <- t.replicas_created + 1;
   Timeseries.incr t.replicas_ts now
+
+(* Combine per-lane parts into the single [t] a one-domain run of the
+   same schedule would report.  Counters and histogram bucket counts are
+   integers (exact in any order); time-series bins carry +1.0 increments
+   or single-writer samples (see [Timeseries.merge_into]); the float
+   distributions come in pre-folded from the cluster's per-server arrays
+   (server-id order — independent of the shard count), and the
+   histograms' float moments are re-derived from them because both saw
+   the identical value stream. *)
+let merged ~parts ~latency ~hops ~data_latency ~meta_lag =
+  let out = { (empty ()) with latency; hops; data_latency; meta_lag } in
+  List.iter
+    (fun p ->
+      out.injected <- out.injected + p.injected;
+      out.resolved <- out.resolved + p.resolved;
+      out.dropped_queue <- out.dropped_queue + p.dropped_queue;
+      out.dropped_hops <- out.dropped_hops + p.dropped_hops;
+      out.dropped_dead_end <- out.dropped_dead_end + p.dropped_dead_end;
+      out.dropped_server_dead <- out.dropped_server_dead + p.dropped_server_dead;
+      out.dropped_timeout <- out.dropped_timeout + p.dropped_timeout;
+      out.net_lost <- out.net_lost + p.net_lost;
+      out.net_blocked <- out.net_blocked + p.net_blocked;
+      out.query_retransmits <- out.query_retransmits + p.query_retransmits;
+      out.fetch_retransmits <- out.fetch_retransmits + p.fetch_retransmits;
+      out.late_replies <- out.late_replies + p.late_replies;
+      out.replicas_created <- out.replicas_created + p.replicas_created;
+      out.replicas_evicted <- out.replicas_evicted + p.replicas_evicted;
+      out.control_messages <- out.control_messages + p.control_messages;
+      out.sessions_started <- out.sessions_started + p.sessions_started;
+      out.sessions_aborted <- out.sessions_aborted + p.sessions_aborted;
+      out.query_forwards <- out.query_forwards + p.query_forwards;
+      out.shortcut_forwards <- out.shortcut_forwards + p.shortcut_forwards;
+      out.stale_forwards <- out.stale_forwards + p.stale_forwards;
+      out.data_requests <- out.data_requests + p.data_requests;
+      out.data_completed <- out.data_completed + p.data_completed;
+      out.data_dropped <- out.data_dropped + p.data_dropped;
+      Hist.absorb ~into:out.latency_hist p.latency_hist;
+      Hist.absorb ~into:out.hops_hist p.hops_hist;
+      Timeseries.merge_into ~into:out.injected_ts p.injected_ts;
+      Timeseries.merge_into ~into:out.drops_ts p.drops_ts;
+      Timeseries.merge_into ~into:out.replicas_ts p.replicas_ts;
+      Timeseries.merge_into ~into:out.load_mean_ts p.load_mean_ts;
+      Timeseries.merge_into ~into:out.load_max_ts p.load_max_ts)
+    parts;
+  if Stats.count latency > 0 then
+    Hist.set_moments out.latency_hist ~sum:(Stats.total latency)
+      ~vmin:(Stats.min_value latency) ~vmax:(Stats.max_value latency);
+  if Stats.count hops > 0 then
+    Hist.set_moments out.hops_hist ~sum:(Stats.total hops) ~vmin:(Stats.min_value hops)
+      ~vmax:(Stats.max_value hops);
+  out
 
 let drop_fraction t =
   if t.injected = 0 then 0.0 else float_of_int (dropped_total t) /. float_of_int t.injected

@@ -69,6 +69,20 @@ val drop : t -> Types.drop_reason -> now:float -> unit
 (** Count one dropped query (all reasons feed [drops_ts]). *)
 
 val resolve : t -> latency:float -> hops:int -> now:float -> unit
+(** Count one resolution and feed the histograms.  The Welford [Stats]
+    for latency/hops are {e not} updated here — the cluster keeps those
+    per-server (so they fold back in a shard-count-independent order)
+    and reunites them with the counters via {!merged}. *)
+
+val merged :
+  parts:t list -> latency:Stats.t -> hops:Stats.t -> data_latency:Stats.t -> meta_lag:Stats.t -> t
+(** Combine per-lane parts (plus the pre-folded distribution stats) into
+    the metrics a one-domain run of the same schedule reports: counters
+    and histogram bucket counts sum exactly; time series merge bin-wise;
+    histogram float moments are re-derived from the matching [Stats]
+    (which saw the identical value stream).  A single-lane run uses the
+    same path with one part, so the result is byte-identical for every
+    domain count. *)
 
 val replica_created : t -> now:float -> unit
 

@@ -168,13 +168,24 @@ let merge ~max rng a b =
 
 let filter t ~f = List.filter (fun e -> e.is_owner || f e) t
 
+(* Count-then-walk instead of filter + nth: this runs once per forwarding
+   decision, and the two intermediate lists were measurable at scale.  RNG
+   consumption is unchanged (one draw on the same eligible count, none when
+   empty), so trajectories are identical. *)
 let random_server ?exclude t rng =
-  let eligible =
-    match exclude with None -> t | Some s -> List.filter (fun e -> e.server <> s) t
-  in
-  match eligible with
-  | [] -> None
-  | l -> Some (List.nth l (Splitmix.int rng (List.length l))).server
+  let excluded e = match exclude with Some s -> e.server = s | None -> false in
+  let count = List.fold_left (fun n e -> if excluded e then n else n + 1) 0 t in
+  if count = 0 then None
+  else begin
+    let rec nth_eligible i = function
+      | [] -> assert false
+      | e :: rest ->
+        if excluded e then nth_eligible i rest
+        else if i = 0 then Some e.server
+        else nth_eligible (i - 1) rest
+    in
+    nth_eligible (Splitmix.int rng count) t
+  end
 
 let pp fmt t =
   Format.fprintf fmt "{%s}"

@@ -8,17 +8,14 @@ let effective_high_water (s : Server.t) ~now =
   let factor = s.config.Config.high_water_factor in
   if factor <= 0.0 then floor_threshold
   else begin
-    (* Believed overall utilization: peer loads learned in-band, plus own
+    (* Believed overall utilization: peer loads learned in-band (their sum
+       is maintained incrementally — this check runs after every processed
+       message, so a fold here would cost O(peers) per event), plus own
        last measurement.  Raw (not adjusted) own load: the threshold should
        track reality, not the post-shed hysteresis value. *)
-    let sum = ref (Load_meter.raw_load s.load now) and n = ref 1 in
-    (* lint: ordered float addition over believed loads; commutative to well under the threshold's resolution *)
-    Hashtbl.iter
-      (fun _ load ->
-        sum := !sum +. load;
-        incr n)
-      s.known_loads;
-    let mean = !sum /. float_of_int !n in
+    let sum = Load_meter.raw_load s.load now +. s.Server.peer_load_sum in
+    let n = 1 + Hashtbl.length s.Server.known_loads in
+    let mean = sum /. float_of_int n in
     Float.max floor_threshold (Float.min 0.95 (factor *. mean))
   end
 

@@ -90,17 +90,21 @@ let digest_shortcut (s : Server.t) ~dst ~better_than =
   else begin
     (* Collect the MRU-first prefix of remote digests into the server's
        scratch arrays — no tuples, cons cells, or reversal on the hot
-       path. *)
+       path, and the walk STOPS at the prefix: this runs on every routing
+       decision, and folding the whole store (up to [max_remote_digests]
+       entries) here was the dominant per-event cost at large server
+       counts. *)
     let servers = s.Server.digest_scratch_servers in
     let blooms = s.Server.digest_scratch_blooms in
     let cap = Array.length servers in
     let count =
-      Digest_store.fold_remote s.digests ~init:0 ~f:(fun n server bloom ->
-          if n >= cap || server = s.id then n
+      Digest_store.fold_remote_until s.digests ~init:0 ~f:(fun n server bloom ->
+          if n >= cap then Either.Right n
+          else if server = s.id then Either.Left n
           else begin
             servers.(n) <- server;
             blooms.(n) <- bloom;
-            n + 1
+            Either.Left (n + 1)
           end)
     in
     if count = 0 then None

@@ -40,6 +40,7 @@ type t = {
   load : Load_meter.t;
   ranking : Ranking.t;
   known_loads : (server_id, float) Hashtbl.t;
+  mutable peer_load_sum : float;
   queue : message Queue.t;
   ctrl_queue : message Queue.t;
   mutable serving : bool;
@@ -76,6 +77,7 @@ let create ~id ~config ~tree ?(speed = 1.0) ?(obs = Obs.null) ~rng () =
     load = Load_meter.create ~window:config.Config.load_window;
     ranking = Ranking.create ();
     known_loads = Hashtbl.create 32;
+    peer_load_sum = 0.0;
     queue = Queue.create ();
     ctrl_queue = Queue.create ();
     serving = false;
@@ -201,7 +203,20 @@ let touch_node t node ~now =
     t.last_decay <- t.last_decay +. t.config.Config.load_window
   done
 
-let note_peer_load t peer load = if peer <> t.id then Hashtbl.replace t.known_loads peer load
+(* [peer_load_sum] mirrors Σ known_loads incrementally: the replication
+   trigger consults the believed mean load after EVERY processed message,
+   and a fresh fold there is O(peers) — the per-event cost that made large
+   deployments (fig9's upper sizes) collapse.  Drift from the running
+   subtract/add is deterministic (per-server update order is fixed for any
+   engine-domain count) and re-zeroed whenever the table empties. *)
+let note_peer_load t peer load =
+  if peer <> t.id then begin
+    (match Hashtbl.find_opt t.known_loads peer with
+    | Some old -> t.peer_load_sum <- t.peer_load_sum -. old
+    | None -> ());
+    t.peer_load_sum <- t.peer_load_sum +. load;
+    Hashtbl.replace t.known_loads peer load
+  end
 
 let min_load_peer t ~exclude =
   (* The [l <= load] tie-break keeps the earliest-visited of equally-loaded
@@ -386,7 +401,13 @@ let forget_server t node server =
     | None ->
       Cache.update t.cache ~node ~f:(fun map -> Node_map.remove map server))
 
-let forget_peer t peer = Hashtbl.remove t.known_loads peer
+let forget_peer t peer =
+  match Hashtbl.find_opt t.known_loads peer with
+  | None -> ()
+  | Some old ->
+    Hashtbl.remove t.known_loads peer;
+    if Hashtbl.length t.known_loads = 0 then t.peer_load_sum <- 0.0
+    else t.peer_load_sum <- t.peer_load_sum -. old
 
 let record_new_replica t node target ~now =
   match find_hosted t node with

@@ -65,6 +65,11 @@ type t = {
   load : Load_meter.t;
   ranking : Ranking.t;
   known_loads : (server_id, float) Hashtbl.t;
+  mutable peer_load_sum : float;
+      (** running Σ of [known_loads] values, maintained by
+          {!note_peer_load} / {!forget_peer} so the replication trigger's
+          believed-mean-load check is O(1) per message instead of a
+          O(peers) fold (the fold dominated large deployments) *)
   queue : message Queue.t;  (** bounded query-class FIFO *)
   ctrl_queue : message Queue.t;  (** unbounded, served with priority *)
   mutable serving : bool;

@@ -17,6 +17,7 @@ type 'a t = {
   mutable width : float; (* bucket time width *)
   mutable keys : float array array; (* per-bucket parallel vectors *)
   mutable seqs : int array array;
+  mutable tags : int array array;
   mutable vals : 'a array array;
   mutable lens : int array;
   mutable size : int;
@@ -29,16 +30,18 @@ type 'a t = {
 
 let min_buckets = 8
 
-let fresh_buckets n = (Array.make n [||], Array.make n [||], Array.make n [||], Array.make n 0)
+let fresh_buckets n =
+  (Array.make n [||], Array.make n [||], Array.make n [||], Array.make n [||], Array.make n 0)
 
 let create () =
-  let keys, seqs, vals, lens = fresh_buckets min_buckets in
+  let keys, seqs, tags, vals, lens = fresh_buckets min_buckets in
   {
     nbuckets = min_buckets;
     mask = min_buckets - 1;
     width = 1.0;
     keys;
     seqs;
+    tags;
     vals;
     lens;
     size = 0;
@@ -55,22 +58,26 @@ let is_empty q = q.size = 0
 
 let year_of q key = int_of_float (key /. q.width)
 
-let append q b key seq value =
+let append q b key seq tag value =
   let len = q.lens.(b) in
   let capacity = Array.length q.keys.(b) in
   if len = capacity then begin
     let fresh_cap = max 4 (2 * capacity) in
     let fk = Array.make fresh_cap 0.0 and fs = Array.make fresh_cap 0 in
+    let fg = Array.make fresh_cap 0 in
     let fv = Array.make fresh_cap value in
     Array.blit q.keys.(b) 0 fk 0 len;
     Array.blit q.seqs.(b) 0 fs 0 len;
+    Array.blit q.tags.(b) 0 fg 0 len;
     Array.blit q.vals.(b) 0 fv 0 len;
     q.keys.(b) <- fk;
     q.seqs.(b) <- fs;
+    q.tags.(b) <- fg;
     q.vals.(b) <- fv
   end;
   q.keys.(b).(len) <- key;
   q.seqs.(b).(len) <- seq;
+  q.tags.(b).(len) <- tag;
   q.vals.(b).(len) <- value;
   q.lens.(b) <- len + 1
 
@@ -105,14 +112,16 @@ let estimate_width q =
 
 let resize q target =
   let width = estimate_width q in
-  let keys, seqs, vals, lens = fresh_buckets target in
-  let old_keys = q.keys and old_seqs = q.seqs and old_vals = q.vals and old_lens = q.lens in
+  let keys, seqs, tags, vals, lens = fresh_buckets target in
+  let old_keys = q.keys and old_seqs = q.seqs and old_tags = q.tags in
+  let old_vals = q.vals and old_lens = q.lens in
   let old_n = q.nbuckets in
   q.nbuckets <- target;
   q.mask <- target - 1;
   q.width <- width;
   q.keys <- keys;
   q.seqs <- seqs;
+  q.tags <- tags;
   q.vals <- vals;
   q.lens <- lens;
   let size = q.size in
@@ -120,16 +129,14 @@ let resize q target =
   for b = 0 to old_n - 1 do
     for i = 0 to old_lens.(b) - 1 do
       let k = old_keys.(b).(i) in
-      append q (year_of q k land q.mask) k old_seqs.(b).(i) old_vals.(b).(i)
+      append q (year_of q k land q.mask) k old_seqs.(b).(i) old_tags.(b).(i) old_vals.(b).(i)
     done
   done;
   q.size <- size;
   q.year <- year_of q q.last_key;
   q.cmin_bucket <- -1
 
-let add q key value =
-  let seq = q.next_seq in
-  q.next_seq <- seq + 1;
+let add_tagged q ~key ~seq ~tag value =
   if key < q.last_key then begin
     (* Late insert: re-anchor the scan so the invariant holds. *)
     q.last_key <- key;
@@ -137,8 +144,14 @@ let add q key value =
     q.cmin_bucket <- -1
   end;
   let y = year_of q key in
+  (* A peek's year-by-year walk advances [year] past empty buckets; an
+     insert can then legitimately land above [last_key] but below the
+     advanced year (the parallel engine's coordinator peeks every lane
+     between windows).  Pull the year back or the walk would skip it
+     once the cached min is popped. *)
+  if y < q.year then q.year <- y;
   let b = y land q.mask in
-  append q b key seq value;
+  append q b key seq tag value;
   q.size <- q.size + 1;
   if q.cmin_bucket >= 0 then begin
     let ck = q.keys.(q.cmin_bucket).(q.cmin_idx) and cs = q.seqs.(q.cmin_bucket).(q.cmin_idx) in
@@ -148,6 +161,11 @@ let add q key value =
     end
   end;
   if q.size > 2 * q.nbuckets then resize q (2 * q.nbuckets)
+
+let add q key value =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  add_tagged q ~key ~seq ~tag:0 value
 
 (* Scan all buckets for the global minimum (key, seq); used when the
    year-by-year walk has gone a full cycle without a hit. *)
@@ -205,6 +223,14 @@ let top_key q =
   let b, i = find_min q in
   q.keys.(b).(i)
 
+let top_seq q =
+  let b, i = find_min q in
+  q.seqs.(b).(i)
+
+let top_tag q =
+  let b, i = find_min q in
+  q.tags.(b).(i)
+
 let min q =
   if q.size = 0 then None
   else begin
@@ -220,6 +246,7 @@ let pop_exn q =
   let last = q.lens.(b) - 1 in
   q.keys.(b).(i) <- q.keys.(b).(last);
   q.seqs.(b).(i) <- q.seqs.(b).(last);
+  q.tags.(b).(i) <- q.tags.(b).(last);
   q.vals.(b).(i) <- q.vals.(b).(last);
   q.vals.(b).(last) <- value (* keep slot initialized *);
   q.lens.(b) <- last;
@@ -238,12 +265,13 @@ let pop q =
   end
 
 let clear q =
-  let keys, seqs, vals, lens = fresh_buckets min_buckets in
+  let keys, seqs, tags, vals, lens = fresh_buckets min_buckets in
   q.nbuckets <- min_buckets;
   q.mask <- min_buckets - 1;
   q.width <- 1.0;
   q.keys <- keys;
   q.seqs <- seqs;
+  q.tags <- tags;
   q.vals <- vals;
   q.lens <- lens;
   q.size <- 0;

@@ -16,6 +16,11 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val add : 'a t -> float -> 'a -> unit
+(** Insert with an internally assigned sequence number and tag 0. *)
+
+val add_tagged : 'a t -> key:float -> seq:int -> tag:int -> 'a -> unit
+(** Insert with a caller-supplied sequence number and opaque tag — same
+    contract as [Pqueue.add_tagged]. *)
 
 val min : 'a t -> (float * 'a) option
 
@@ -23,6 +28,12 @@ val pop : 'a t -> (float * 'a) option
 
 val top_key : 'a t -> float
 (** Smallest key without removal; undefined when empty. *)
+
+val top_seq : 'a t -> int
+(** Sequence number of the minimum entry; undefined when empty. *)
+
+val top_tag : 'a t -> int
+(** Tag of the minimum entry; undefined when empty. *)
 
 val pop_exn : 'a t -> 'a
 (** Remove the minimum entry and return its value.

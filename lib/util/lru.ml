@@ -100,6 +100,16 @@ let fold t ~init ~f =
   in
   go init t.head
 
+let fold_until t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some node -> (
+      match f acc node.key node.value with
+      | Either.Left acc -> go acc node.next
+      | Either.Right acc -> acc)
+  in
+  go init t.head
+
 let iter t ~f = fold t ~init:() ~f:(fun () k v -> f k v)
 
 let keys_mru_order t = List.rev (fold t ~init:[] ~f:(fun acc k _ -> k :: acc))

@@ -33,6 +33,12 @@ val remove : 'a t -> int -> unit
 val fold : 'a t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
 (** Fold over entries from most- to least-recently used. *)
 
+val fold_until :
+  'a t -> init:'b -> f:('b -> int -> 'a -> ('b, 'b) Either.t) -> 'b
+(** Like {!fold}, but [f] returning [Right acc] stops the walk with [acc].
+    For consumers that only want an MRU prefix — a full {!fold} over a
+    large cache is the dominant cost when called on a hot path. *)
+
 val iter : 'a t -> f:(int -> 'a -> unit) -> unit
 
 val keys_mru_order : 'a t -> int list

@@ -1,5 +1,109 @@
 let recommended_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Persistent worker gang: [map] below spawns fresh domains per call,
+   which is fine for a handful of multi-second experiment cells but far
+   too heavy for the parallel engine's synchronized windows (thousands
+   per simulated second).  A [Gang.t] parks its domains on a condition
+   variable between jobs, so a launch/join round trip costs two lock
+   acquisitions per worker instead of a domain spawn. *)
+module Gang = struct
+  type t = {
+    mutable domains : unit Domain.t array;
+    m : Mutex.t;
+    cv : Condition.t;
+    mutable job : (int -> unit) option;
+    mutable epoch : int; (* bumped per launch; workers wait for a fresh one *)
+    mutable remaining : int;
+    mutable stop : bool;
+    mutable failure : (exn * Printexc.raw_backtrace) option;
+  }
+
+  let worker t i =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.m;
+      while t.epoch = !seen && not t.stop do
+        Condition.wait t.cv t.m
+      done;
+      if t.stop then begin
+        running := false;
+        Mutex.unlock t.m
+      end
+      else begin
+        seen := t.epoch;
+        let job = match t.job with Some f -> f | None -> assert false in
+        Mutex.unlock t.m;
+        (try job i
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock t.m;
+           if t.failure = None then t.failure <- Some (e, bt);
+           Mutex.unlock t.m);
+        Mutex.lock t.m;
+        t.remaining <- t.remaining - 1;
+        if t.remaining = 0 then Condition.broadcast t.cv;
+        Mutex.unlock t.m
+      end
+    done
+
+  let create ~workers =
+    if workers < 1 then invalid_arg "Pool.Gang.create: workers must be >= 1";
+    let t =
+      {
+        domains = [||];
+        m = Mutex.create ();
+        cv = Condition.create ();
+        job = None;
+        epoch = 0;
+        remaining = 0;
+        stop = false;
+        failure = None;
+      }
+    in
+    t.domains <- Array.init workers (fun i -> Domain.spawn (fun () -> worker t i));
+    t
+
+  let size t = Array.length t.domains
+
+  let launch t f =
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.Gang.launch: gang is shut down"
+    end;
+    if t.remaining > 0 then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.Gang.launch: previous job not joined"
+    end;
+    t.job <- Some f;
+    t.remaining <- Array.length t.domains;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+
+  let join t =
+    Mutex.lock t.m;
+    while t.remaining > 0 do
+      Condition.wait t.cv t.m
+    done;
+    t.job <- None;
+    let fail = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.m;
+    match fail with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+
+  let shutdown t =
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+end
+
 (* Each slot is written exactly once, by whichever worker claimed its index;
    the claim goes through [next], so no index is ever written twice.  The
    caller reads the slots only after joining every worker, which publishes

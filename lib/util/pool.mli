@@ -27,3 +27,34 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
       concurrently on separate domains in an unspecified relative order.
 
     @raise Invalid_argument if [domains < 1]. *)
+
+(** Persistent worker domains for repeated fork-join rounds.
+
+    Where {!map} spawns domains per call, a gang parks its workers on a
+    condition variable between jobs — the launch/join round trip is two
+    lock acquisitions per worker, cheap enough to run once per
+    synchronized window of the parallel discrete-event engine. *)
+module Gang : sig
+  type t
+
+  val create : workers:int -> t
+  (** Spawn [workers] parked domains.  @raise Invalid_argument if
+      [workers < 1]. *)
+
+  val size : t -> int
+  (** Number of worker domains. *)
+
+  val launch : t -> (int -> unit) -> unit
+  (** Start one job round: every worker [i] in [0, size) runs [f i]
+      concurrently with the caller.  The caller may do its own share of
+      the work before {!join}.  @raise Invalid_argument if the previous
+      round was not joined or the gang is shut down. *)
+
+  val join : t -> unit
+  (** Block until every worker finished the current round (a
+      synchronization point: workers' writes are visible after).  If any
+      worker raised, the first exception recorded is re-raised here. *)
+
+  val shutdown : t -> unit
+  (** Stop and join all workers.  Idempotent. *)
+end

@@ -1,19 +1,26 @@
-(* Struct-of-arrays binary heap: keys, insertion sequences, and values
-   live in three parallel arrays instead of one boxed record per entry.
-   Long runs keep millions of pending events; with records every entry
-   was a minor allocation that survived into the major heap.  The SoA
-   layout allocates only on amortized growth, and the float keys are
-   unboxed in their array. *)
+(* Struct-of-arrays binary heap: keys, insertion sequences, tags, and
+   values live in four parallel arrays instead of one boxed record per
+   entry.  Long runs keep millions of pending events; with records every
+   entry was a minor allocation that survived into the major heap.  The
+   SoA layout allocates only on amortized growth, and the float keys are
+   unboxed in their array.
+
+   The [tag] is an opaque integer riding along with each entry (the
+   engine stores the executing-context id there); it never participates
+   in the ordering.  [add] assigns sequence numbers from an internal
+   counter (tag 0); [add_tagged] lets the caller supply both, which the
+   parallel engine uses to impose a partition-independent total order. *)
 
 type 'a t = {
   mutable keys : float array; (* positions [0, size) are live *)
   mutable seqs : int array;
+  mutable tags : int array;
   mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; tags = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length q = q.size
 
@@ -26,27 +33,28 @@ let grow q value =
   let capacity = Array.length q.keys in
   if q.size = capacity then begin
     (* Starting at 16 keeps short-lived engines (tests, micro benches) to
-       a single growth of the three parallel arrays. *)
+       a single growth of the four parallel arrays. *)
     let fresh_cap = max 16 (2 * capacity) in
     let fresh_keys = Array.make fresh_cap 0.0 in
     let fresh_seqs = Array.make fresh_cap 0 in
+    let fresh_tags = Array.make fresh_cap 0 in
     let fresh_vals = Array.make fresh_cap value in
     Array.blit q.keys 0 fresh_keys 0 q.size;
     Array.blit q.seqs 0 fresh_seqs 0 q.size;
+    Array.blit q.tags 0 fresh_tags 0 q.size;
     Array.blit q.vals 0 fresh_vals 0 q.size;
     q.keys <- fresh_keys;
     q.seqs <- fresh_seqs;
+    q.tags <- fresh_tags;
     q.vals <- fresh_vals
   end
 
 (* Both sifts use the hole technique: the moving entry lives in locals,
    displaced entries shift once, and the entry is written exactly once at
    its final slot — half the array traffic of a swap per level, which the
-   three parallel arrays would otherwise triple. *)
+   four parallel arrays would otherwise quadruple. *)
 
-let add q key value =
-  let seq = q.next_seq in
-  q.next_seq <- seq + 1;
+let add_tagged q ~key ~seq ~tag value =
   grow q value;
   let i = ref q.size in
   q.size <- q.size + 1;
@@ -57,6 +65,7 @@ let add q key value =
     if q.keys.(parent) > key || (q.keys.(parent) = key && q.seqs.(parent) > seq) then begin
       q.keys.(!i) <- q.keys.(parent);
       q.seqs.(!i) <- q.seqs.(parent);
+      q.tags.(!i) <- q.tags.(parent);
       q.vals.(!i) <- q.vals.(parent);
       i := parent
     end
@@ -64,14 +73,24 @@ let add q key value =
   done;
   q.keys.(!i) <- key;
   q.seqs.(!i) <- seq;
+  q.tags.(!i) <- tag;
   q.vals.(!i) <- value
 
+let add q key value =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  add_tagged q ~key ~seq ~tag:0 value
+
 let top_key q = q.keys.(0)
+
+let top_seq q = q.seqs.(0)
+
+let top_tag q = q.tags.(0)
 
 let min q = if q.size = 0 then None else Some (q.keys.(0), q.vals.(0))
 
 (* Sift the last entry down from the root hole. *)
-let sift_down q key seq value =
+let sift_down q key seq tag value =
   let n = q.size in
   let i = ref 0 in
   let continue = ref true in
@@ -89,6 +108,7 @@ let sift_down q key seq value =
     if !smallest <> !i then begin
       q.keys.(!i) <- q.keys.(!smallest);
       q.seqs.(!i) <- q.seqs.(!smallest);
+      q.tags.(!i) <- q.tags.(!smallest);
       q.vals.(!i) <- q.vals.(!smallest);
       i := !smallest
     end
@@ -96,6 +116,7 @@ let sift_down q key seq value =
   done;
   q.keys.(!i) <- key;
   q.seqs.(!i) <- seq;
+  q.tags.(!i) <- tag;
   q.vals.(!i) <- value
 
 let pop_exn q =
@@ -104,9 +125,9 @@ let pop_exn q =
   q.size <- q.size - 1;
   if q.size > 0 then begin
     let last = q.size in
-    let k = q.keys.(last) and s = q.seqs.(last) and v = q.vals.(last) in
+    let k = q.keys.(last) and s = q.seqs.(last) and g = q.tags.(last) and v = q.vals.(last) in
     q.vals.(last) <- top (* keep slot initialized; avoids space leak concerns *);
-    sift_down q k s v
+    sift_down q k s g v
   end;
   top
 
@@ -121,6 +142,7 @@ let pop q =
 let clear q =
   q.keys <- [||];
   q.seqs <- [||];
+  q.tags <- [||];
   q.vals <- [||];
   q.size <- 0
 
@@ -129,6 +151,7 @@ let to_sorted_list q =
     {
       keys = Array.copy q.keys;
       seqs = Array.copy q.seqs;
+      tags = Array.copy q.tags;
       vals = Array.copy q.vals;
       size = q.size;
       next_seq = q.next_seq;

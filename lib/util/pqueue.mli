@@ -15,7 +15,14 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val add : 'a t -> float -> 'a -> unit
-(** [add q key v] inserts [v] with priority [key]. *)
+(** [add q key v] inserts [v] with priority [key], a sequence number from
+    the queue's internal counter, and tag 0. *)
+
+val add_tagged : 'a t -> key:float -> seq:int -> tag:int -> 'a -> unit
+(** Insert with a caller-supplied sequence number and tag.  The tag is an
+    opaque payload (readable via {!top_tag}); ordering is (key, seq) as
+    always.  Callers mixing [add_tagged] with {!add} own the burden of
+    keeping sequence numbers unique per key. *)
 
 val min : 'a t -> (float * 'a) option
 (** Smallest key and its value, without removing it. *)
@@ -27,6 +34,12 @@ val pop : 'a t -> (float * 'a) option
 val top_key : 'a t -> float
 (** Smallest key without removal; undefined when the queue is empty (check
     [is_empty] first).  Allocation-free counterpart of [min]. *)
+
+val top_seq : 'a t -> int
+(** Sequence number of the minimum entry; undefined when empty. *)
+
+val top_tag : 'a t -> int
+(** Tag of the minimum entry; undefined when empty. *)
 
 val pop_exn : 'a t -> 'a
 (** Remove the minimum entry and return its value without boxing the key.

@@ -46,6 +46,20 @@ let observe_max t time value =
   if value > t.maxima.(i) then t.maxima.(i) <- value;
   t.counts.(i) <- t.counts.(i) + 1
 
+(* Exact in any partition order: per-bin sums are only ever merged
+   pairwise from disjoint sample sets when each lane's +1.0 increments
+   are integral, and counts/maxima are order-independent outright. *)
+let merge_into ~into src =
+  if into.bin <> src.bin then invalid_arg "Timeseries.merge_into: bin width mismatch";
+  if src.used > 0 then begin
+    ensure into (src.used - 1);
+    for i = 0 to src.used - 1 do
+      into.sums.(i) <- into.sums.(i) +. src.sums.(i);
+      if src.maxima.(i) > into.maxima.(i) then into.maxima.(i) <- src.maxima.(i);
+      into.counts.(i) <- into.counts.(i) + src.counts.(i)
+    done
+  end
+
 let num_bins t = t.used
 
 let sums t = Array.sub t.sums 0 t.used

@@ -24,6 +24,13 @@ val observe_max : t -> float -> float -> unit
 (** [observe_max t time value] keeps the max of the values seen in the bin
     (use a separate series from sums). *)
 
+val merge_into : into:t -> t -> unit
+(** Accumulate [src]'s bins into [into]: sums add, counts add, maxima
+    max.  Counts and maxima are order-independent; sums are bit-exact
+    under any partition when every sample is an integral [+1.0]
+    increment (the engine's per-lane counter series).
+    @raise Invalid_argument if the bin widths differ. *)
+
 val num_bins : t -> int
 (** Index of the highest touched bin + 1. *)
 

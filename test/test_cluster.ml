@@ -50,7 +50,7 @@ let test_round_robin_placement () =
 let test_all_resolve_at_low_load () =
   let cluster = mk_cluster () in
   run_uniform ~rate:60.0 cluster;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Alcotest.(check bool) "queries ran" true (m.Metrics.injected > 500);
   Alcotest.(check int) "no drops at low load" 0 (Metrics.dropped_total m);
   Alcotest.(check int) "all resolved" m.Metrics.injected m.Metrics.resolved;
@@ -59,7 +59,7 @@ let test_all_resolve_at_low_load () =
 let test_latency_sane () =
   let cluster = mk_cluster () in
   run_uniform cluster;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   let mean = Stats.mean m.Metrics.latency in
   (* every hop costs >= network delay; resolution needs >= 1 message *)
   Alcotest.(check bool) "latency above one network hop" true
@@ -72,8 +72,8 @@ let test_caching_reduces_hops () =
   let without = mk_cluster ~features:Config.base () in
   run_uniform ~rate:40.0 with_cache;
   run_uniform ~rate:40.0 without;
-  let h_with = Stats.mean with_cache.Cluster.metrics.Metrics.hops in
-  let h_without = Stats.mean without.Cluster.metrics.Metrics.hops in
+  let h_with = Stats.mean (Cluster.metrics with_cache).Metrics.hops in
+  let h_without = Stats.mean (Cluster.metrics without).Metrics.hops in
   Alcotest.(check bool)
     (Printf.sprintf "hops %.2f < %.2f" h_with h_without)
     true (h_with < h_without)
@@ -91,7 +91,7 @@ let test_single_query_trace () =
   let src = (cluster.Cluster.owner_of.(dst) + 1) mod Cluster.num_servers cluster in
   Cluster.inject cluster ~src ~dst;
   Cluster.run_until cluster 5.0;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Alcotest.(check int) "resolved" 1 m.Metrics.resolved;
   Alcotest.(check int) "injected" 1 m.Metrics.injected;
   (* route length bounded by hierarchical distance + reply *)
@@ -102,7 +102,7 @@ let test_determinism () =
   let run () =
     let cluster = mk_cluster ~seed:77 () in
     run_uniform cluster;
-    let m = cluster.Cluster.metrics in
+    let m = Cluster.metrics cluster in
     ( m.Metrics.injected,
       m.Metrics.resolved,
       m.Metrics.replicas_created,
@@ -116,7 +116,7 @@ let test_seed_sensitivity () =
   let run seed =
     let cluster = mk_cluster ~seed () in
     run_uniform cluster;
-    cluster.Cluster.metrics.Metrics.query_forwards
+    (Cluster.metrics cluster).Metrics.query_forwards
   in
   Alcotest.(check bool) "different seeds change the trajectory" true (run 1 <> run 2)
 
@@ -151,9 +151,9 @@ let test_queries_survive_replica_failure () =
     Array.to_list cluster.Cluster.servers |> List.find (fun s -> s.Server.replica_count > 0)
   in
   Cluster.kill cluster victim.Server.id;
-  let m = cluster.Cluster.metrics in
-  let resolved_before = m.Metrics.resolved in
-  let drops_before = Metrics.dropped_total m in
+  let m0 = Cluster.metrics cluster in
+  let resolved_before = m0.Metrics.resolved in
+  let drops_before = Metrics.dropped_total m0 in
   (* lookups to nodes NOT owned by the victim *)
   let tree = cluster.Cluster.tree in
   let n_queries = ref 0 in
@@ -164,6 +164,7 @@ let test_queries_survive_replica_failure () =
         if src <> victim.Server.id then Cluster.inject cluster ~src ~dst
       end);
   Cluster.run_until cluster (Cluster.now cluster +. 30.0);
+  let m = Cluster.metrics cluster in
   let resolved_delta = m.Metrics.resolved - resolved_before in
   let drop_delta = Metrics.dropped_total m - drops_before in
   Alcotest.(check bool)
@@ -189,9 +190,9 @@ let test_owner_failure_drops_only_its_nodes () =
     Cluster.inject cluster ~src ~dst;
     Cluster.run_until cluster (Cluster.now cluster +. 30.0);
     Alcotest.(check bool) "query for dead owner's leaf fails" true
-      (Metrics.dropped_total cluster.Cluster.metrics > 0));
+      (Metrics.dropped_total (Cluster.metrics cluster) > 0));
   (* other nodes still resolve *)
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   let resolved_before = m.Metrics.resolved in
   let other_leaf =
     Tree.leaves tree |> List.find (fun n -> cluster.Cluster.owner_of.(n) <> victim)
@@ -241,7 +242,7 @@ let partition_heal_run ~max_retries ~seed =
   cluster
 
 let snapshot cluster =
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   ( m.Metrics.injected,
     m.Metrics.resolved,
     Metrics.dropped_total m,
@@ -256,7 +257,7 @@ let test_partition_heal_recovers () =
   let injected, resolved, dropped, timed_out, retransmits, blocked, _, _ = snapshot cluster in
   Alcotest.(check int) "every query finalized" injected (resolved + dropped);
   Alcotest.(check int) "no request left pending" 0
-    (Hashtbl.length cluster.Cluster.pending_queries);
+    (Array.fold_left (fun a h -> a + Hashtbl.length h) 0 cluster.Cluster.pending_queries);
   Alcotest.(check bool) "the cut actually dropped traffic" true (blocked > 100);
   Alcotest.(check bool) "timers actually fired" true (retransmits > 50);
   (* retries carry cross-cut queries past the heal: near-total success *)
@@ -265,13 +266,13 @@ let test_partition_heal_recovers () =
     true
     (float_of_int resolved /. float_of_int injected > 0.95);
   (* after the heal, fresh queries across the former cut all resolve *)
-  let before = cluster.Cluster.metrics.Metrics.resolved in
+  let before = (Cluster.metrics cluster).Metrics.resolved in
   let probes = [ (0, 40); (1, 17); (5, 3); (12, 9) ] in
   List.iter (fun (src, dst) -> Cluster.inject cluster ~src ~dst) probes;
   Cluster.run_until cluster (Cluster.now cluster +. 20.0);
   Alcotest.(check int) "post-heal probes all resolve"
     (before + List.length probes)
-    cluster.Cluster.metrics.Metrics.resolved
+    (Cluster.metrics cluster).Metrics.resolved
 
 let test_partition_heal_deterministic () =
   (* the acceptance bar: the same seed must reproduce the identical
@@ -348,7 +349,7 @@ let test_owner_lost_mid_fetch_fails_over () =
   | Some (Cluster.Fetched _) -> ()
   | Some Cluster.Fetch_failed -> Alcotest.fail "fetch must time out onto the other holder"
   | None -> Alcotest.fail "partitioned fetch never finalized");
-  Alcotest.(check int) "no fetch left pending" 0 (Hashtbl.length cluster.Cluster.pending_fetches)
+  Alcotest.(check int) "no fetch left pending" 0 (Array.fold_left (fun a h -> a + Hashtbl.length h) 0 cluster.Cluster.pending_fetches)
 
 let test_fetch_failover_many_holders () =
   (* Regression for the failover holder filter: with many data copies the
@@ -399,7 +400,7 @@ let test_fetch_failover_many_holders () =
   | Some Cluster.Fetch_failed -> ()
   | Some (Cluster.Fetched _) -> Alcotest.fail "no holder is alive; fetch cannot succeed"
   | None -> Alcotest.fail "exhausted fetch never finalized");
-  Alcotest.(check int) "no fetch left pending" 0 (Hashtbl.length cluster.Cluster.pending_fetches)
+  Alcotest.(check int) "no fetch left pending" 0 (Array.fold_left (fun a h -> a + Hashtbl.length h) 0 cluster.Cluster.pending_fetches)
 
 let test_dead_link_degrades_but_never_deadlocks () =
   (* 100% loss on one directed link for the whole run (a directed
@@ -420,10 +421,10 @@ let test_dead_link_degrades_but_never_deadlocks () =
   ignore (Net.partition ~directed:true cluster.Cluster.net ~a:[ 0 ] ~b:[ 1 ]);
   Scenario.run cluster ~phases:(Stream.unif ~rate:100.0 ~duration:20.0) ~seed:8;
   Cluster.run_until cluster (Cluster.now cluster +. 20.0);
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Alcotest.(check int) "accounting identity" m.Metrics.injected
     (m.Metrics.resolved + Metrics.dropped_total m);
-  Alcotest.(check int) "no query pending" 0 (Hashtbl.length cluster.Cluster.pending_queries);
+  Alcotest.(check int) "no query pending" 0 (Array.fold_left (fun a h -> a + Hashtbl.length h) 0 cluster.Cluster.pending_queries);
   Alcotest.(check bool) "link dropped traffic" true (m.Metrics.net_blocked > 0);
   Alcotest.(check bool)
     (Printf.sprintf "still mostly working: %d/%d" m.Metrics.resolved m.Metrics.injected)
@@ -451,12 +452,12 @@ let test_handoff_transfers_ownership () =
     (Array.exists (fun h -> h = recipient) cluster.Cluster.data_holders.(node));
   Cluster.check_invariants cluster;
   (* lookups still resolve, from anywhere *)
-  let before = cluster.Cluster.metrics.Metrics.resolved in
+  let before = (Cluster.metrics cluster).Metrics.resolved in
   Cluster.inject cluster ~src:((donor + 3) mod 24) ~dst:node;
   Cluster.inject cluster ~src:donor ~dst:node;
   Cluster.run_until cluster (Cluster.now cluster +. 10.0);
   Alcotest.(check int) "both resolve post-handoff" (before + 2)
-    cluster.Cluster.metrics.Metrics.resolved;
+    (Cluster.metrics cluster).Metrics.resolved;
   Alcotest.check_raises "double handoff" (Invalid_argument "Cluster.handoff: already the owner")
     (fun () -> Cluster.handoff cluster ~node ~to_:recipient)
 
@@ -484,17 +485,17 @@ let test_graceful_leave_keeps_namespace_reachable () =
     (Cluster.server cluster leaver).Server.owned_count;
   Cluster.check_invariants cluster;
   (* every node it used to own still resolves *)
-  let before = cluster.Cluster.metrics.Metrics.resolved in
+  let before = (Cluster.metrics cluster).Metrics.resolved in
   List.iter (fun dst -> Cluster.inject cluster ~src:((leaver + 1) mod 16) ~dst) owned;
   Cluster.run_until cluster (Cluster.now cluster +. 30.0);
   Alcotest.(check int) "all former nodes resolve"
     (before + List.length owned)
-    cluster.Cluster.metrics.Metrics.resolved
+    (Cluster.metrics cluster).Metrics.resolved
 
 let test_monitor_series_collected () =
   let cluster = mk_cluster () in
   run_uniform ~rate:100.0 ~duration:10.0 cluster;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Alcotest.(check bool) "load series sampled" true
     (Timeseries.num_bins m.Metrics.load_mean_ts >= 9);
   let means = Timeseries.means m.Metrics.load_mean_ts in
@@ -550,11 +551,11 @@ let prop_membership_churn_invariants =
       done;
       run_for 5.0;
       Cluster.check_invariants cluster;
-      let before = cluster.Cluster.metrics.Metrics.resolved in
+      let before = (Cluster.metrics cluster).Metrics.resolved in
       let probes = [ 0; 3; 9; 17; 30; 45; 60 ] in
       List.iter (fun dst -> Cluster.inject cluster ~src:(dst mod 16) ~dst) probes;
       run_for 60.0;
-      cluster.Cluster.metrics.Metrics.resolved = before + List.length probes)
+      (Cluster.metrics cluster).Metrics.resolved = before + List.length probes)
 
 let () =
   Alcotest.run "terradir_cluster"

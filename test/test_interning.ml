@@ -215,6 +215,22 @@ let prop_pop_exn_matches_pop =
         ops;
       !ok && Pqueue.length a = Pqueue.length b)
 
+let calendar_peek_then_early_insert () =
+  (* Regression: a peek's year-by-year walk advances the scan year past
+     empty buckets.  An insert arriving ABOVE last_key but BELOW the
+     advanced year (the parallel engine's coordinator peeks every lane
+     between windows without popping) must pull the year back, or the
+     walk skips the era once the cached min is popped. *)
+  let c = Calqueue.create () in
+  Calqueue.add_tagged c ~key:3.7 ~seq:1 ~tag:0 "far";
+  ignore (Calqueue.top_key c) (* walk advances the scan year to 3 *);
+  Calqueue.add_tagged c ~key:0.4 ~seq:2 ~tag:0 "near";
+  Calqueue.add_tagged c ~key:0.6 ~seq:3 ~tag:0 "nearer";
+  Alcotest.(check string) "cached min" "near" (Calqueue.pop_exn c);
+  Alcotest.(check (float 0.0)) "era not skipped" 0.6 (Calqueue.top_key c);
+  Alcotest.(check string) "in order" "nearer" (Calqueue.pop_exn c);
+  Alcotest.(check string) "far last" "far" (Calqueue.pop_exn c)
+
 let calendar_wide_spread () =
   (* Exercise bucket resizing and the direct-search fallback: widely and
      unevenly spread keys, then a full drain. *)
@@ -459,7 +475,11 @@ let () =
         @ [ Alcotest.test_case "tree name/find roundtrip" `Quick tree_roundtrip ] );
       ( "scheduler",
         q [ prop_heap_calendar_equal; prop_pop_exn_matches_pop ]
-        @ [ Alcotest.test_case "calendar wide key spread" `Quick calendar_wide_spread ] );
+        @ [
+            Alcotest.test_case "calendar wide key spread" `Quick calendar_wide_spread;
+            Alcotest.test_case "calendar peek then early insert" `Quick
+              calendar_peek_then_early_insert;
+          ] );
       ("meters", q [ prop_load_meter_matches ]);
       ( "rng",
         q [ prop_node_map_merge_draws ]

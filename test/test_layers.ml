@@ -73,7 +73,7 @@ let test_fetch_basic () =
     Alcotest.(check bool) "latency >= 2 network hops" true (latency >= 0.05)
   | Some Cluster.Fetch_failed -> Alcotest.fail "fetch failed on healthy cluster"
   | None -> Alcotest.fail "no outcome");
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Alcotest.(check int) "counted" 1 m.Metrics.data_requests;
   Alcotest.(check int) "completed" 1 m.Metrics.data_completed;
   Alcotest.(check int) "no drops" 0 m.Metrics.data_dropped
@@ -114,7 +114,7 @@ let test_fetch_fails_when_all_holders_dead () =
   | Some Cluster.Fetch_failed -> ()
   | Some (Cluster.Fetched _) -> Alcotest.fail "all holders are dead"
   | None -> Alcotest.fail "no outcome");
-  Alcotest.(check int) "drop counted" 1 cluster.Cluster.metrics.Metrics.data_dropped
+  Alcotest.(check int) "drop counted" 1 (Cluster.metrics cluster).Metrics.data_dropped
 
 let test_fetch_validation () =
   let cluster = mk_cluster () in
@@ -128,7 +128,7 @@ let test_scenario_fetch_probability () =
   Scenario.run cluster
     ~phases:(Stream.unif ~rate:100.0 ~duration:20.0)
     ~seed:7 ~fetch_probability:0.3;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   let expected = float_of_int m.Metrics.resolved *. 0.3 in
   Alcotest.(check bool)
     (Printf.sprintf "fetches %d ~ 30%% of %d resolved" m.Metrics.data_requests m.Metrics.resolved)
@@ -159,9 +159,9 @@ let test_meta_staleness_observed () =
       [ { Stream.duration = 20.0; rate = 300.0; dist = Stream.Zipf { alpha = 1.3; reshuffle = true } } ]
     ~seed:9;
   Tree.iter cluster.Cluster.tree (fun node -> ignore (Cluster.update_meta cluster node));
-  let lag_before = Stats.count cluster.Cluster.metrics.Metrics.meta_lag in
+  let lag_before = Stats.count (Cluster.metrics cluster).Metrics.meta_lag in
   Scenario.run cluster ~phases:(Stream.unif ~rate:200.0 ~duration:10.0) ~seed:10;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Alcotest.(check bool) "lag samples collected" true
     (Stats.count m.Metrics.meta_lag > lag_before);
   (* Some lookups resolved at replicas still carrying version 0 *)

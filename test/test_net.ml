@@ -269,7 +269,7 @@ let faulty_run seed =
   Scenario.run cluster ~phases:(Stream.unif ~rate:120.0 ~duration:8.0) ~seed:(seed + 1);
   Cluster.run_until cluster (Cluster.now cluster +. 10.0);
   Cluster.check_invariants cluster;
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   let rows = Metrics.summary_rows m |> List.map (fun (k, v) -> k ^ "=" ^ v) in
   String.concat ";" rows
   ^ Printf.sprintf ";net=%d/%d/%d;events=%d;lat=%h;hops=%h"

@@ -96,7 +96,7 @@ let traced_run () =
 
 let test_span_reconstruction () =
   let cluster, obs = traced_run () in
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   let spans = Span.of_recorder (Obs.recorder obs) in
   let resolved =
     List.filter (fun sp -> match sp.Span.span_outcome with Span.Resolved _ -> true | _ -> false) spans

@@ -151,7 +151,7 @@ let hot_run ?(features = Config.bcr) ?(r_fact = 2.0) ?(duration = 40.0) ?(rate =
 
 let test_hot_spot_triggers_replication () =
   let cluster = hot_run () in
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Alcotest.(check bool) "sessions started" true (m.Metrics.sessions_started > 0);
   Alcotest.(check bool) "replicas created" true (m.Metrics.replicas_created > 10);
   Cluster.check_invariants cluster
@@ -169,14 +169,14 @@ let test_budget_respected_cluster_wide () =
 
 let test_no_replication_when_disabled () =
   let cluster = hot_run ~features:Config.bc () in
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   Alcotest.(check int) "no replicas" 0 m.Metrics.replicas_created;
   Alcotest.(check int) "no sessions" 0 m.Metrics.sessions_started;
   Alcotest.(check int) "no control traffic" 0 m.Metrics.control_messages
 
 let test_control_traffic_is_light () =
   let cluster = hot_run () in
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   (* The paper: load-balancing messages at least two orders of magnitude
      fewer than queries.  At this tiny scale we check one order. *)
   Alcotest.(check bool)
@@ -187,8 +187,8 @@ let test_control_traffic_is_light () =
 let test_replication_reduces_drops () =
   let with_repl = hot_run () in
   let without = hot_run ~features:Config.bc () in
-  let f_with = Metrics.drop_fraction with_repl.Cluster.metrics in
-  let f_without = Metrics.drop_fraction without.Cluster.metrics in
+  let f_with = Metrics.drop_fraction (Cluster.metrics with_repl) in
+  let f_without = Metrics.drop_fraction (Cluster.metrics without) in
   Alcotest.(check bool)
     (Printf.sprintf "drops with (%.4f) < without (%.4f)" f_with f_without)
     true (f_with < f_without)

@@ -50,10 +50,10 @@ let run ?obs ~scheduler () =
 
 (* The complete counter/histogram export — any divergence in any counter,
    latency bucket, or hop bucket shows up as a byte diff. *)
-let fingerprint cluster = Csv_export.metrics_csv cluster.Cluster.metrics
+let fingerprint cluster = Csv_export.metrics_csv (Cluster.metrics cluster)
 
 let check_sane label cluster =
-  let m = cluster.Cluster.metrics in
+  let m = Cluster.metrics cluster in
   if m.Metrics.injected < 10_000 then
     Alcotest.failf "%s: only %d queries injected" label m.Metrics.injected;
   if m.Metrics.resolved = 0 then Alcotest.failf "%s: nothing resolved" label;

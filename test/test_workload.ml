@@ -105,7 +105,7 @@ let mk_cluster () =
 let test_scenario_injection_rate () =
   let cluster = mk_cluster () in
   Scenario.run cluster ~phases:(Stream.unif ~rate:200.0 ~duration:20.0) ~seed:7;
-  let injected = cluster.Cluster.metrics.Metrics.injected in
+  let injected = (Cluster.metrics cluster).Metrics.injected in
   (* Poisson(200 × 20 = 4000): allow ±10% *)
   Alcotest.(check bool)
     (Printf.sprintf "injected %d ~ 4000" injected)
@@ -121,7 +121,7 @@ let test_scenario_phase_rates () =
     ]
   in
   Scenario.run cluster ~phases ~seed:7;
-  let per_second = Terradir_util.Timeseries.sums cluster.Cluster.metrics.Metrics.injected_ts in
+  let per_second = Terradir_util.Timeseries.sums (Cluster.metrics cluster).Metrics.injected_ts in
   let first = Array.fold_left ( +. ) 0.0 (Array.sub per_second 0 10) in
   let second = Array.fold_left ( +. ) 0.0 (Array.sub per_second 10 (Array.length per_second - 10)) in
   Alcotest.(check bool)
@@ -155,7 +155,7 @@ let test_scenario_interleaved () =
         (Stream.unif ~rate:50.0 ~duration:10.0, 1);
         ([ { Stream.duration = 10.0; rate = 50.0; dist = Stream.Zipf { alpha = 1.0; reshuffle = true } } ], 2);
       ];
-  let injected = cluster.Cluster.metrics.Metrics.injected in
+  let injected = (Cluster.metrics cluster).Metrics.injected in
   (* two Poisson(500) streams *)
   Alcotest.(check bool)
     (Printf.sprintf "both streams injected (%d)" injected)

@@ -1,6 +1,7 @@
 (* Bench regression gate: compare a fresh BENCH_results.json against the
    committed BENCH_baseline.json and fail on slowdowns in the tracked
-   micro benchmarks.
+   micro benchmarks AND in the figure-level engine throughput
+   (events_per_sec per figure, the capacity figure included).
 
    Usage: bench_gate_main [--tolerance PCT] [--absolute] BASELINE CURRENT
 
@@ -23,6 +24,8 @@ module Json = Terradir_trace_check.Json
 let tracked =
   [
     "routing_decide";
+    "routing_decide_full_store";
+    "replication_trigger";
     "tree_distance";
     "node_map_merge";
     "node_map_merge_subsumed";
@@ -32,17 +35,37 @@ let tracked =
     "engine_schedule_run";
   ]
 
+(* Figure-level engine throughput (events_per_sec) — the macro numbers the
+   scaling work is about; the capacity figure is the headline one.  Same
+   skip rule as micro benches: a figure absent from the baseline has
+   nothing to regress against. *)
+let tracked_figures =
+  [
+    "table1";
+    "fig3";
+    "fig4";
+    "fig5";
+    "fig6";
+    "fig7";
+    "fig8";
+    "fig9";
+    "rfact";
+    "ablations";
+    "hetero";
+    "capacity";
+  ]
+
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_gate: " ^ s); exit 2) fmt
 
-let read_micro path =
+let load_json path =
   let source =
     try In_channel.with_open_text path In_channel.input_all
     with Sys_error e -> die "%s" e
   in
-  let json =
-    try Json.parse source
-    with Json.Parse_error { pos; msg } -> die "%s: parse error at byte %d: %s" path pos msg
-  in
+  try Json.parse source
+  with Json.Parse_error { pos; msg } -> die "%s: parse error at byte %d: %s" path pos msg
+
+let read_micro path json =
   match Json.member "micro_ns_per_run" json with
   | Some (Json.Arr entries) ->
     List.filter_map
@@ -52,6 +75,45 @@ let read_micro path =
         | _ -> None)
       entries
   | _ -> die "%s: no micro_ns_per_run array (schema v2 expected)" path
+
+(* [(id, events_per_sec)] from the figures array.  Figures without an
+   events_per_sec number (none today) are skipped rather than fatal: the
+   array also carries wall_s/events_executed, and the gate only speaks
+   throughput. *)
+let read_figures path json =
+  match Json.member "figures" json with
+  | Some (Json.Arr entries) ->
+    List.filter_map
+      (fun e ->
+        match (Json.member "id" e, Json.member "events_per_sec" e) with
+        | Some (Json.Str id), Some (Json.Num eps) -> Some (id, eps)
+        | _ -> None)
+      entries
+  | _ -> die "%s: no figures array (schema v2 expected)" path
+
+(* Shared gating pass over one section of [(name, baseline, current, ratio)]
+   cells, ratio oriented so > 1 means slower.  Prints every cell, returns
+   the regressing names.  Each section is normalized by its OWN geomean —
+   ns/run and events/sec respond to machine speed the same way, but mixing
+   the two populations in one geomean would let a uniformly faster micro
+   suite mask a uniformly slower figure suite. *)
+let gate_section ~label ~unit ~tolerance ~absolute cells =
+  let geomean =
+    exp (List.fold_left (fun acc (_, _, _, r) -> acc +. log r) 0.0 cells
+         /. float_of_int (List.length cells))
+  in
+  let norm = if absolute then 1.0 else geomean in
+  Printf.printf "%s (%s, %s):\n" label unit
+    (if absolute then "absolute" else Printf.sprintf "normalized by geomean ratio %.3f" geomean);
+  List.filter_map
+    (fun (name, b, c, r) ->
+      let adjusted = r /. norm in
+      let regressed = adjusted > 1.0 +. tolerance in
+      Printf.printf "  %-26s %12.2f -> %12.2f %s  ratio %.3f (adj %.3f)  %s\n" name b c unit r
+        adjusted
+        (if regressed then "REGRESSION" else "ok");
+      if regressed then Some name else None)
+    cells
 
 let () =
   let tolerance = ref 0.10 and absolute = ref false and files = ref [] in
@@ -78,40 +140,61 @@ let () =
     | [ b; c ] -> (b, c)
     | _ -> die "usage: bench_gate_main [--tolerance PCT] [--absolute] BASELINE CURRENT"
   in
-  let baseline = read_micro baseline_file and current = read_micro current_file in
-  let cells =
+  let baseline_json = load_json baseline_file and current_json = load_json current_file in
+  let micro_b = read_micro baseline_file baseline_json
+  and micro_c = read_micro current_file current_json in
+  let micro_cells =
     List.filter_map
       (fun name ->
-        match (List.assoc_opt name baseline, List.assoc_opt name current) with
+        match (List.assoc_opt name micro_b, List.assoc_opt name micro_c) with
         | Some b, Some c when b > 0.0 -> Some (name, b, c, c /. b)
         | Some _, None -> die "%s: tracked bench %s missing from current results" current_file name
         | None, _ -> None (* not in the baseline yet: nothing to regress against *)
         | Some _, Some _ -> die "%s: bench %s has non-positive baseline" baseline_file name)
       tracked
   in
-  if cells = [] then die "no tracked benches shared between %s and %s" baseline_file current_file;
-  let geomean =
-    exp (List.fold_left (fun acc (_, _, _, r) -> acc +. log r) 0.0 cells
-         /. float_of_int (List.length cells))
+  if micro_cells = [] then
+    die "no tracked benches shared between %s and %s" baseline_file current_file;
+  let figures_b = read_figures baseline_file baseline_json
+  and figures_c = read_figures current_file current_json in
+  (* Throughput regression direction is inverted: LOWER events/sec is the
+     slowdown.  Ratio baseline/current keeps > 1 = slower, so the same
+     normalize-and-threshold machinery applies. *)
+  let figure_cells =
+    List.filter_map
+      (fun id ->
+        match (List.assoc_opt id figures_b, List.assoc_opt id figures_c) with
+        | Some b, Some c when b > 0.0 && c > 0.0 -> Some (id, b, c, b /. c)
+        | Some _, Some c when c <= 0.0 ->
+          die "%s: figure %s has non-positive events_per_sec" current_file id
+        | Some _, None -> die "%s: tracked figure %s missing from current results" current_file id
+        | None, _ -> None (* not in the baseline yet: nothing to regress against *)
+        | Some _, Some _ -> die "%s: figure %s has non-positive baseline" baseline_file id)
+      tracked_figures
   in
-  let norm = if !absolute then 1.0 else geomean in
-  Printf.printf "bench gate: %s vs %s (tolerance %.0f%%, %s)\n" current_file baseline_file
-    (!tolerance *. 100.0)
-    (if !absolute then "absolute" else Printf.sprintf "normalized by geomean ratio %.3f" geomean);
-  let regressions =
-    List.filter
-      (fun (name, b, c, r) ->
-        let adjusted = r /. norm in
-        let verdict = if adjusted > 1.0 +. !tolerance then "REGRESSION" else "ok" in
-        Printf.printf "  %-26s %10.2f -> %10.2f ns/run  ratio %.3f (adj %.3f)  %s\n" name b c r
-          adjusted verdict;
-        adjusted > 1.0 +. !tolerance)
-      cells
+  Printf.printf "bench gate: %s vs %s (tolerance %.0f%%)\n" current_file baseline_file
+    (!tolerance *. 100.0);
+  let micro_regressions =
+    gate_section ~label:"micro benches" ~unit:"ns/run" ~tolerance:!tolerance
+      ~absolute:!absolute micro_cells
   in
+  let figure_regressions =
+    if figure_cells = [] then begin
+      (* Tolerated (an old baseline predating figure tracking) but loud:
+         silence here would read as "figures gated" when they were not. *)
+      Printf.printf "figure throughput: no tracked figures shared with baseline, skipping\n";
+      []
+    end
+    else
+      gate_section ~label:"figure throughput" ~unit:"events/s" ~tolerance:!tolerance
+        ~absolute:!absolute figure_cells
+  in
+  let regressions = micro_regressions @ figure_regressions in
   if regressions <> [] then begin
-    Printf.eprintf "bench_gate: %d tracked bench(es) slowed down more than %.0f%%\n"
+    Printf.eprintf "bench_gate: %d tracked bench(es)/figure(s) slowed down more than %.0f%%: %s\n"
       (List.length regressions)
-      (!tolerance *. 100.0);
+      (!tolerance *. 100.0)
+      (String.concat ", " regressions);
     exit 1
   end;
-  print_endline "bench gate: all tracked benches within tolerance"
+  print_endline "bench gate: all tracked benches and figures within tolerance"

@@ -1,0 +1,96 @@
+(* Parallel-capacity speedup check: compare two capacity-bench reports
+   (bench/capacity.exe output) and fail unless the second ran at least
+   [--min-speedup] times the first's events_per_sec.
+
+   Usage: cap_speedup_main [--min-speedup X] BASELINE.json PARALLEL.json
+
+   CI runs the capacity scenario once with 1 engine domain and once with 4,
+   then holds the pair to the scaling floor.  The check also re-asserts the
+   determinism contract on the side: the simulation fields of the two
+   reports (events_executed, injected, resolved, dropped, replicas_created)
+   must be identical — a speedup bought by diverging trajectories is a bug,
+   not a result.
+
+   Exit status: 0 ok, 1 speedup below floor or trajectories diverged,
+   2 usage/parse error. *)
+
+module Json = Terradir_trace_check.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("cap_speedup: " ^ s); exit 2) fmt
+
+(* The simulation fields that must match byte-for-byte across domain
+   counts.  Integer-valued, so float equality is exact. *)
+let determinism_fields =
+  [ "servers"; "nodes"; "events_executed"; "injected"; "resolved"; "dropped"; "replicas_created" ]
+
+let read_capacity path =
+  let source =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> die "%s" e
+  in
+  let json =
+    try Json.parse source
+    with Json.Parse_error { pos; msg } -> die "%s: parse error at byte %d: %s" path pos msg
+  in
+  match Json.member "capacity" json with
+  | Some cap -> cap
+  | None -> die "%s: no capacity object (expected bench/capacity.exe output)" path
+
+let num path cap field =
+  match Json.member field cap with
+  | Some (Json.Num n) -> n
+  | _ -> die "%s: capacity field %s missing or not a number" path field
+
+let () =
+  let min_speedup = ref 2.0 and files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--min-speedup" :: x :: rest -> (
+      match float_of_string_opt x with
+      | Some s when s > 0.0 ->
+        min_speedup := s;
+        parse rest
+      | _ -> die "--min-speedup needs a positive number")
+    | "--min-speedup" :: [] -> die "--min-speedup needs an argument"
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> die "unknown option %s" arg
+    | path :: rest ->
+      files := path :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_file, par_file =
+    match List.rev !files with
+    | [ b; p ] -> (b, p)
+    | _ -> die "usage: cap_speedup_main [--min-speedup X] BASELINE.json PARALLEL.json"
+  in
+  let base = read_capacity base_file and par = read_capacity par_file in
+  let divergent =
+    List.filter
+      (fun field -> num base_file base field <> num par_file par field)
+      determinism_fields
+  in
+  List.iter
+    (fun field ->
+      Printf.eprintf "cap_speedup: %s differs: %g (%s) vs %g (%s)\n" field
+        (num base_file base field) base_file (num par_file par field) par_file)
+    divergent;
+  let base_eps = num base_file base "events_per_sec"
+  and par_eps = num par_file par "events_per_sec" in
+  if base_eps <= 0.0 then die "%s: non-positive events_per_sec" base_file;
+  let speedup = par_eps /. base_eps in
+  Printf.printf
+    "capacity speedup: %.0f -> %.0f events/sec (%.2fx, K=%g vs K=%g, floor %.2fx)\n"
+    base_eps par_eps speedup
+    (num base_file base "engine_domains")
+    (num par_file par "engine_domains")
+    !min_speedup;
+  if divergent <> [] then begin
+    prerr_endline "cap_speedup: FAIL — simulation trajectories diverged across domain counts";
+    exit 1
+  end;
+  if speedup < !min_speedup then begin
+    Printf.eprintf "cap_speedup: FAIL — speedup %.2fx below the %.2fx floor\n" speedup
+      !min_speedup;
+    exit 1
+  end;
+  print_endline "cap_speedup: ok"
