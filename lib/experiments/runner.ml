@@ -9,7 +9,7 @@ open Terradir_workload
 (* Set from the main domain before any fan-out (tests pin it); reads from
    worker closures never happen — [jobs] is resolved by the dispatching
    domain only. *)
-let forced_jobs = ref None
+let forced_jobs = ref None (* race: bare-shared-mutable single-writer: pinned by the dispatching domain before fan-out, workers only read *)
 
 let set_jobs j = forced_jobs := j
 
@@ -39,7 +39,7 @@ let map f cells = Pool.map ~domains:(jobs ()) f cells
    which fans independent cells out.  Same discipline: pinned by the main
    domain, read when a cluster is built.  The engine's determinism
    contract makes this knob observable-output-neutral. *)
-let forced_engine_domains = ref None
+let forced_engine_domains = ref None (* race: bare-shared-mutable single-writer: pinned by the dispatching domain before fan-out, workers only read *)
 
 let set_engine_domains d = forced_engine_domains := d
 
@@ -72,7 +72,7 @@ let with_engine_config config =
    Worker closures read it when they build their cluster — each cell gets
    its OWN fresh sink (sinks are single-cluster mutable state and must
    never be shared across domains). *)
-let forced_obs : (Terradir_obs.Obs.level * int) option ref = ref None
+let forced_obs : (Terradir_obs.Obs.level * int) option ref = ref None (* race: bare-shared-mutable single-writer: pinned by the dispatching domain before fan-out, workers only read *)
 
 let set_obs v = forced_obs := v
 

@@ -48,6 +48,11 @@ let make ~level ~capacity ~probe_every =
     clock = (fun () -> 0.0);
   }
 
+(* Shared across every cluster (and hence every domain) — but domain-safe:
+   all writes to an [Off] sink are gated out ([set_clock], [set_multi],
+   [emit] all test the level first), so [null] is immutable in practice.
+   This is a record value, not a syntactic mutable root, so the race check
+   cannot see it; lane-safety rests on this gate (DESIGN §14). *)
 let null = make ~level:Off ~capacity:0 ~probe_every:max_int
 
 let create ?(capacity = 1 lsl 18) ?(probe_every = 2000) ~level () =

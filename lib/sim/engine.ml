@@ -82,27 +82,24 @@ let cur_lane_opt t =
   if t.domains = 1 then Some t.lanes.(0)
   else match Domain.DLS.get t.dls with Some _ as l -> l | None -> t.active
 
-let now t = match cur_lane_opt t with Some l -> l.Shard.clock | None -> t.vclock
+let now t = match cur_lane_opt t with Some l -> Shard.clock l | None -> t.vclock
 
-let ctx t = match cur_lane_opt t with Some l -> l.Shard.ctx | None -> -1
+let ctx t = match cur_lane_opt t with Some l -> Shard.ctx l | None -> -1
 
 let lane_count t = if t.domains = 1 then 1 else t.domains + 1
 
-let lane_index t = match cur_lane_opt t with Some l -> l.Shard.idx | None -> t.domains
+let lane_index t = match cur_lane_opt t with Some l -> Shard.idx l | None -> t.domains
 
 let stamp t =
   match cur_lane_opt t with
-  | Some l ->
-    let s = l.Shard.sub in
-    l.Shard.sub <- s + 1;
-    (l.Shard.idx, l.Shard.clock, l.Shard.tie, s)
+  | Some l -> (Shard.idx l, Shard.clock l, Shard.tie l, Shard.next_sub l)
   | None -> (t.domains, t.vclock, 0, 0)
 
 let events_executed t =
-  if t.domains = 1 then t.lanes.(0).Shard.executed
+  if t.domains = 1 then Shard.executed t.lanes.(0)
   else begin
-    let n = ref (t.driver.Shard.executed + t.sync.Shard.executed) in
-    Array.iter (fun l -> n := !n + l.Shard.executed) t.lanes;
+    let n = ref (Shard.executed t.driver + Shard.executed t.sync) in
+    Array.iter (fun l -> n := !n + Shard.executed l) t.lanes;
     !n
   end
 
@@ -175,7 +172,7 @@ let configure t ~domains ~lookahead ~shard_of =
    on, so allocation needs no atomics and is K-independent. *)
 let schedule_key t ~owner time f =
   let lane_opt = cur_lane_opt t in
-  let cx = match lane_opt with Some l -> l.Shard.ctx | None -> -1 in
+  let cx = match lane_opt with Some l -> Shard.ctx l | None -> -1 in
   let c = if cx < 0 then 0 else cx + 1 in
   ensure_counter t c;
   let seq = t.counters.(c) in
@@ -193,7 +190,7 @@ let schedule_key t ~owner time f =
     | Some lane when t.window_on && dest != lane ->
       if time < t.window_bound then
         invalid_arg "Engine.schedule: cross-shard event inside the open window (lookahead violated)";
-      lane.Shard.outboxes.(d) <- (time, tie, owner, f) :: lane.Shard.outboxes.(d)
+      Shard.outbox_push lane ~dest:d ~time ~tie ~owner f
     | _ -> Shard.enqueue dest ~key:time ~tie ~tag:owner f
   end
 
@@ -225,11 +222,11 @@ let step t =
   if Shard.is_empty lane then false
   else begin
     Shard.pop_run lane;
-    t.vclock <- lane.Shard.clock;
+    t.vclock <- Shard.clock lane;
     (match t.observers with
     | [] -> ()
     | observers ->
-      List.iter (fun (every, obs) -> if lane.Shard.executed mod every = 0 then obs ()) observers);
+      List.iter (fun (every, obs) -> if Shard.executed lane mod every = 0 then obs ()) observers);
     true
   end
 
@@ -238,13 +235,13 @@ let seq_run ?until t =
   match until with
   | None -> while step t do () done
   | Some stop ->
-    if stop < lane.Shard.clock then invalid_arg "Engine.run: until is in the past";
+    if stop < Shard.clock lane then invalid_arg "Engine.run: until is in the past";
     let continue = ref true in
     while !continue do
       if (not (Shard.is_empty lane)) && Shard.top_key lane <= stop then ignore (step t)
       else continue := false
     done;
-    lane.Shard.clock <- stop;
+    Shard.set_clock lane stop;
     t.vclock <- stop
 
 (* ---- parallel execution (K >= 2) ---- *)
@@ -319,21 +316,15 @@ let par_run ?until t =
         t.window_on <- false;
         Array.iter
           (fun lane ->
-            let boxes = lane.Shard.outboxes in
-            for d = 0 to Array.length boxes - 1 do
-              match boxes.(d) with
-              | [] -> ()
-              | items ->
-                boxes.(d) <- [];
-                let dest =
-                  if d < t.domains then t.lanes.(d)
-                  else if d = t.domains then t.driver
+            Shard.drain_outboxes lane ~f:(fun ~dest items ->
+                let dst =
+                  if dest < t.domains then t.lanes.(dest)
+                  else if dest = t.domains then t.driver
                   else t.sync
                 in
                 List.iter
-                  (fun (time, tie, owner, f) -> Shard.enqueue dest ~key:time ~tie ~tag:owner f)
-                  items
-            done)
+                  (fun (time, tie, owner, f) -> Shard.enqueue dst ~key:time ~tie ~tag:owner f)
+                  items))
           t.lanes;
         t.vclock <- bt;
         fire_par t
@@ -342,14 +333,14 @@ let par_run ?until t =
   match until with
   | Some s ->
     t.vclock <- s;
-    Array.iter (fun l -> l.Shard.clock <- s) t.lanes;
-    t.driver.Shard.clock <- s;
-    t.sync.Shard.clock <- s
+    Array.iter (fun l -> Shard.set_clock l s) t.lanes;
+    Shard.set_clock t.driver s;
+    Shard.set_clock t.sync s
   | None ->
     let m = ref t.vclock in
-    Array.iter (fun l -> if l.Shard.clock > !m then m := l.Shard.clock) t.lanes;
-    if t.driver.Shard.clock > !m then m := t.driver.Shard.clock;
-    if t.sync.Shard.clock > !m then m := t.sync.Shard.clock;
+    Array.iter (fun l -> if Shard.clock l > !m then m := Shard.clock l) t.lanes;
+    if Shard.clock t.driver > !m then m := Shard.clock t.driver;
+    if Shard.clock t.sync > !m then m := Shard.clock t.sync;
     t.vclock <- !m
 
 let run ?until t = if t.domains = 1 then seq_run ?until t else par_run ?until t

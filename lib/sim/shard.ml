@@ -44,6 +44,36 @@ let create ~scheduler ~idx ~ndest =
     outboxes = Array.make ndest [];
   }
 
+let idx t = t.idx
+
+let clock t = t.clock
+
+let set_clock t time = t.clock <- time
+
+let ctx t = t.ctx
+
+let tie t = t.tie
+
+let next_sub t =
+  let s = t.sub in
+  t.sub <- s + 1;
+  s
+
+let executed t = t.executed
+
+let outbox_push t ~dest ~time ~tie ~owner f =
+  t.outboxes.(dest) <- (time, tie, owner, f) :: t.outboxes.(dest)
+
+let drain_outboxes t ~f =
+  let boxes = t.outboxes in
+  for dest = 0 to Array.length boxes - 1 do
+    match boxes.(dest) with
+    | [] -> ()
+    | items ->
+      boxes.(dest) <- [];
+      f ~dest items
+  done
+
 let length t = match t.queue with Heap q -> Pqueue.length q | Calendar q -> Calqueue.length q
 
 let is_empty t = match t.queue with Heap q -> Pqueue.is_empty q | Calendar q -> Calqueue.is_empty q

@@ -7,28 +7,45 @@
     synchronized window each lane is driven by exactly one domain, so the
     fields need no atomicity — the window barrier publishes them.
 
+    The representation is abstract: lane state is single-writer by
+    protocol (exactly one domain drives a lane inside a window), so every
+    mutation must go through this interface where the race check can see
+    it.  In particular the per-destination outboxes — the only sanctioned
+    path for cross-lane event transfer — are reachable only via
+    {!outbox_push} and {!drain_outboxes}, never as a raw array a caller
+    could mutate outside the barrier protocol.
+
     Queue entries store the canonical total-order key (timestamp, tie) in
     the (key, seq) slots and the event's owner context in the tag slot:
     the parallel engine's pop order over the union of all lanes is then
     exactly the sequential engine's pop order over one queue. *)
 
-type queue =
-  | Heap of (unit -> unit) Terradir_util.Pqueue.t
-  | Calendar of (unit -> unit) Terradir_util.Calqueue.t
-
-type t = {
-  idx : int;
-  queue : queue;
-  mutable clock : float;
-  mutable ctx : int;  (** owner of the running event; [-1] when idle *)
-  mutable tie : int;
-  mutable sub : int;  (** intra-event obs emission counter *)
-  mutable executed : int;
-  outboxes : (float * int * int * (unit -> unit)) list array;
-      (** per-destination cross-lane deposits of the open window *)
-}
+type t
 
 val create : scheduler:[ `Heap | `Calendar ] -> idx:int -> ndest:int -> t
+
+val idx : t -> int
+(** Lane index: [0..K-1] shards; [K] = the coordinator lane. *)
+
+val clock : t -> float
+(** Time of the event being / last executed on this lane. *)
+
+val set_clock : t -> float -> unit
+(** Force the lane clock (end-of-run [until] alignment); must only be
+    called between windows, by the coordinating domain. *)
+
+val ctx : t -> int
+(** Owner of the running event; [-1] when idle. *)
+
+val tie : t -> int
+(** Tie-break of the running event (obs stamping). *)
+
+val next_sub : t -> int
+(** Return the running event's intra-event emission counter and advance
+    it (obs stamping). *)
+
+val executed : t -> int
+(** Events executed on this lane since creation. *)
 
 val length : t -> int
 
@@ -42,6 +59,17 @@ val top_tie : t -> int
 val top_tag : t -> int
 
 val enqueue : t -> key:float -> tie:int -> tag:int -> (unit -> unit) -> unit
+
+val outbox_push : t -> dest:int -> time:float -> tie:int -> owner:int -> (unit -> unit) -> unit
+(** Park a cross-lane deposit for destination lane [dest] until the
+    barrier.  Only the domain driving this lane may call it, and only
+    while a window is open. *)
+
+val drain_outboxes : t -> f:(dest:int -> (float * int * int * (unit -> unit)) list -> unit) -> unit
+(** Hand every non-empty outbox — [(time, tie, owner, thunk)] deposits,
+    most recent first — to [f] and clear it.  Coordinator-only, at the
+    barrier; deposit order is irrelevant because ties are globally
+    unique. *)
 
 val pop_run : t -> unit
 (** Execute the minimum event: sets clock/ctx/tie, runs the thunk, and

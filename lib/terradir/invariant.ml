@@ -72,13 +72,13 @@ let report t =
 (* [`Collect] is set (before any worker domain spawns) by the CLI's --audit:
    end-of-run violations accumulate here for a final printed report instead
    of raising.  The default [`Raise] is what the test suite runs under. *)
-let mode : [ `Raise | `Collect ] ref = ref `Raise
+let mode : [ `Raise | `Collect ] ref = ref `Raise (* race: bare-shared-mutable single-writer: the CLI sets --audit mode before any domain spawns *)
 
 let set_mode m = mode := m
 
 (* Set alongside [`Collect] by --audit so auditing turns on without
    touching the environment; read (never written) from worker domains. *)
-let forced = ref false
+let forced = ref false (* race: bare-shared-mutable single-writer: set by --audit before any domain spawns, workers only read *)
 
 let force_enable () = forced := true
 

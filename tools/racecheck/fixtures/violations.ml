@@ -1,0 +1,58 @@
+(* Deliberate domain-safety violations, one block per rule; racecheck's
+   diagnostics on this file are pinned byte-for-byte in expected.txt.
+   The file is parsed by the race check, never compiled, so the Engine /
+   Shard references need no real implementation behind them. *)
+
+(* --- bare-shared-mutable: a bare ref written from lane-reachable code --- *)
+
+let hits = ref 0
+
+let on_event () = hits := !hits + 1
+
+let install engine = Engine.schedule engine ~delay:1.0 on_event
+
+(* --- inconsistent-guard: guarded at one write site, bare at another --- *)
+
+let lock = Mutex.create ()
+
+let table = Hashtbl.create 16
+
+let guarded_add k v = Mutex.protect lock (fun () -> Hashtbl.replace table k v)
+
+let bare_add k v = Hashtbl.replace table k v
+
+let churn engine =
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      guarded_add 1 2;
+      bare_add 3 4)
+
+(* --- atomic-read-modify-write: get -> set loses concurrent updates --- *)
+
+let counter = Atomic.make 0
+
+let bump () = Atomic.set counter (Atomic.get counter + 1)
+
+let tick engine = Engine.schedule engine ~delay:1.0 bump
+
+(* --- outbox-bypass: lane state mutated behind the engine's back --- *)
+
+let sneak lane = Shard.enqueue lane ~key:0.0 ~tie:0 ~tag:0 (fun () -> ())
+
+(* --- suppression hygiene --- *)
+
+(* A justified annotation silences its finding (and is thereby used): *)
+let silenced = ref 0 (* race: bare-shared-mutable fixture: stands in for pre-spawn-only writes *)
+
+let poke () = silenced := 1
+
+let arm engine = Engine.schedule engine ~delay:1.0 poke
+
+(* race: bare-shared-mutable *)
+let naked = ref 0
+
+let touch () = naked := 1
+
+let rearm engine = Engine.schedule engine ~delay:1.0 touch
+
+(* race: outbox-bypass nothing on the next line bypasses anything *)
+let idle () = ()

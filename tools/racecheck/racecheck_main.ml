@@ -1,0 +1,61 @@
+(* CLI for the domain-safety race check.
+
+   Usage: racecheck_main [--allowlist FILE] [--summaries-out FILE] PATH...
+
+   Every PATH is a .ml/.mli file or a directory walked recursively;
+   implementations are analysed, interfaces refine export and exposure
+   facts.  Findings go to stdout, one per line, machine-readable:
+
+     file:line:col: [rule-id] message
+
+   --summaries-out dumps the per-function effect-summary table (plus the
+   mutable-root and exposed-mutable-type inventories) as CSV, for
+   debugging the analysis and for eyeballing what lane code touches.
+
+   Exit status: 0 clean, 1 findings, 2 usage error. *)
+
+module Racecheck = Terradir_racecheck.Racecheck
+
+let () =
+  let allowlist = ref None and summaries_out = ref None and paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allowlist" :: file :: rest ->
+      allowlist := Some file;
+      parse rest
+    | "--summaries-out" :: file :: rest ->
+      summaries_out := Some file;
+      parse rest
+    | (("--allowlist" | "--summaries-out") as opt) :: [] ->
+      Printf.eprintf "racecheck: %s needs a file argument\n" opt;
+      exit 2
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf
+        "racecheck: unknown option %s\nusage: racecheck_main [--allowlist FILE] [--summaries-out \
+         FILE] PATH...\n"
+        arg;
+      exit 2
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then begin
+    prerr_endline "usage: racecheck_main [--allowlist FILE] [--summaries-out FILE] PATH...";
+    exit 2
+  end;
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "racecheck: no such path %s\n" p;
+        exit 2
+      end)
+    !paths;
+  let findings =
+    Racecheck.run ?allowlist:!allowlist ?summaries_out:!summaries_out ~paths:(List.rev !paths) ()
+  in
+  List.iter (Racecheck.pp_finding stdout) findings;
+  if findings <> [] then begin
+    Printf.eprintf "racecheck: %d finding(s)\n" (List.length findings);
+    exit 1
+  end
