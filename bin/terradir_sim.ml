@@ -4,7 +4,9 @@
      list            enumerate the paper's experiments
      run <id>        regenerate one table/figure (at a chosen scale)
      all             regenerate everything
-     custom          free-form simulation with explicit knobs *)
+     custom          free-form simulation with explicit knobs
+     chaos           run a canned chaos campaign, emit its resilience report
+     trace           show the route a lookup would take right now *)
 
 open Cmdliner
 open Terradir
@@ -261,6 +263,92 @@ let custom_cmd =
       $ engine_domains_arg $ audit_arg $ obs_level $ probe_every $ trace $ events_csv
       $ probes_csv)
 
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let scenario =
+    let doc = "Canned campaign to run (see --list)." in
+    Arg.(value & opt string "partition-flash-crowd" & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the canned campaigns and exit.")
+  in
+  let servers =
+    Arg.(value & opt int 128 & info [ "servers" ] ~docv:"N" ~doc:"Number of servers")
+  in
+  let rate =
+    Arg.(value & opt float 500.0 & info [ "rate" ] ~docv:"Q/S" ~doc:"Base query rate")
+  in
+  let seeds =
+    let doc =
+      "Seed sweep width: run the campaign at seeds SEED .. SEED+N-1 (fanned over --jobs \
+       domains) and report each.  Output files gain a .seedS infix when N > 1."
+    in
+    Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc = "Write the resilience report JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let csv =
+    let doc = "Write the per-window trajectory CSV to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run scenario list_flag servers rate seed seeds jobs engine_domains audit out csv =
+    if list_flag then
+      List.iter
+        (fun c -> Printf.printf "%-24s %s\n" c.Terradir_chaos.Campaigns.name c.Terradir_chaos.Campaigns.title)
+        Terradir_chaos.Campaigns.all
+    else begin
+      apply_jobs jobs;
+      apply_engine_domains engine_domains;
+      apply_audit audit;
+      if seeds < 1 then failwith "--seeds must be >= 1";
+      match Terradir_chaos.Campaigns.find scenario with
+      | None ->
+        Printf.eprintf "unknown campaign %S; try: %s\n" scenario
+          (String.concat " "
+             (List.map (fun c -> c.Terradir_chaos.Campaigns.name) Terradir_chaos.Campaigns.all));
+        exit 1
+      | Some campaign ->
+        let config = Experiments.Runner.with_engine_config Config.default in
+        let reports =
+          Experiments.Runner.map
+            (fun s -> Terradir_chaos.Campaigns.run_campaign ~config campaign ~servers ~rate ~seed:s)
+            (List.init seeds (fun i -> seed + i))
+        in
+        let with_suffix s file =
+          if seeds = 1 then file
+          else
+            let ext = Filename.extension file in
+            Printf.sprintf "%s.seed%d%s" (Filename.remove_extension file) s ext
+        in
+        let write file content =
+          Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc content);
+          Printf.printf "wrote %s\n" file
+        in
+        List.iteri
+          (fun i report ->
+            let s = seed + i in
+            if seeds > 1 then Printf.printf "\n===== seed %d =====\n" s;
+            Tablefmt.print ~header:[ "resilience"; "value" ]
+              (List.map (fun (k, v) -> [ k; v ]) (Terradir_chaos.Report.summary_rows report));
+            Option.iter
+              (fun file -> write (with_suffix s file) (Terradir_chaos.Report.to_json report))
+              out;
+            Option.iter
+              (fun file -> write (with_suffix s file) (Terradir_chaos.Report.windows_csv report))
+              csv)
+          reports;
+        report_audit audit
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Run a canned chaos campaign and emit its resilience report")
+    Term.(
+      const run $ scenario $ list_flag $ servers $ rate $ seed_arg $ seeds $ jobs_arg
+      $ engine_domains_arg $ audit_arg $ out $ csv)
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -309,4 +397,4 @@ let trace_cmd =
 let () =
   let doc = "TerraDir hierarchical routing with soft-state replicas (IPDPS 2004) - simulator" in
   let info = Cmd.info "terradir_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; custom_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; custom_cmd; chaos_cmd; trace_cmd ]))

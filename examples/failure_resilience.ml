@@ -1,76 +1,60 @@
 (* Fault tolerance through soft state (§3.1: "routing resiliency ...
    hosting servers for nodes with failed replicas will incur more load
    after failure than before, and will replicate again to meet new load
-   conditions").
+   conditions") — expressed as a declarative chaos timeline.
 
    Timeline:
      0–30 s   warm up under skewed load; replicas spread through the system
-     t=30 s   fail-stop 12 of 64 servers (replica holders preferred)
+     t=30 s   fail-stop ~19% of the servers (seeded deterministic pick)
      30–60 s  lookups keep resolving: messages to dead hosts bounce, the
               sender prunes the dead entry and retries an alternative;
               survivors re-replicate to absorb the shifted load
-     t=60 s   revive the failed servers; the system re-balances
+     t=60 s   revive every failed server; the system re-balances
+
+   The chaos engine replays this as a typed timeline and hands back a
+   resilience report: windowed availability, the availability floor while
+   the servers are dead, and the time to reconvergence after the revival.
 
    Run with: dune exec examples/failure_resilience.exe *)
 
-open Terradir_util
 open Terradir_namespace
 open Terradir
 open Terradir_workload
+module Chaos = Terradir_chaos
 
 let () =
   let tree = Build.balanced ~arity:2 ~levels:9 in
-  let config = { Config.default with Config.num_servers = 64; seed = 41 } in
+  let config =
+    {
+      Config.default with
+      Config.num_servers = 64;
+      seed = 41;
+      (* arm the rpc timers so queries stranded at dead servers fail fast
+         and the fault window shows up as an availability dip, not a
+         silent unresolved backlog *)
+      rpc_timeout = 0.5;
+      max_retries = 3;
+      retry_backoff = 2.0;
+    }
+  in
   let cluster = Cluster.create ~config ~tree () in
-  let rate = 400.0 in
-  let phases =
-    [ { Stream.duration = 90.0; rate; dist = Stream.Zipf { alpha = 1.0; reshuffle = true } } ]
+  let workload =
+    [ { Stream.duration = 90.0; rate = 400.0; dist = Stream.Zipf { alpha = 1.0; reshuffle = true } } ]
   in
-
-  (* Schedule the failure and recovery around the workload. *)
-  let victims = ref [] in
-  Terradir_sim.Engine.schedule_at cluster.Cluster.engine 30.0 (fun () ->
-      let holders =
-        Array.to_list cluster.Cluster.servers
-        |> List.filter (fun s -> s.Server.replica_count > 0)
-        |> List.map (fun s -> s.Server.id)
-      in
-      let rest =
-        List.init 64 Fun.id |> List.filter (fun id -> not (List.mem id holders))
-      in
-      victims := List.filteri (fun i _ -> i < 12) (holders @ rest);
-      List.iter (Cluster.kill cluster) !victims;
-      Printf.printf "t=30: killed %d servers (%d were replica holders)\n" (List.length !victims)
-        (List.length (List.filter (fun v -> List.mem v holders) !victims)));
-  Terradir_sim.Engine.schedule_at cluster.Cluster.engine 60.0 (fun () ->
-      List.iter (Cluster.revive cluster) !victims;
-      Printf.printf "t=60: revived all %d\n" (List.length !victims));
-
-  Scenario.run cluster ~phases ~seed:43;
-
+  let timeline =
+    Chaos.Timeline.make
+      [
+        (30.0, Chaos.Action.Kill_fraction { fraction = 0.19; salt = 41 });
+        (60.0, Chaos.Action.Revive_killed);
+      ]
+  in
+  let report =
+    Chaos.Chaos.run ~window:2.0 ~scenario:"failure-resilience" ~seed:41 cluster ~workload
+      ~workload_seed:43 ~timeline ()
+  in
+  List.iter (fun (k, v) -> Printf.printf "%-36s %s\n" k v) (Chaos.Report.summary_rows report);
   let m = Cluster.metrics cluster in
-  let drops = Timeseries.sums m.Metrics.drops_ts in
-  let resolved_ts = Timeseries.sums m.Metrics.injected_ts in
-  print_endline "\nphase                  injected/s  drops/s";
-  let window label a b =
-    let slice arr =
-      let hi = min b (Array.length arr) in
-      let acc = ref 0.0 in
-      for i = a to hi - 1 do
-        acc := !acc +. arr.(i)
-      done;
-      !acc /. float_of_int (max 1 (hi - a))
-    in
-    Printf.printf "%-22s %9.0f %9.1f\n" label (slice resolved_ts) (slice drops)
-  in
-  window "healthy (0-30s)" 0 30;
-  window "12/64 dead (30-60s)" 30 60;
-  window "recovered (60-90s)" 60 90;
-
-  Printf.printf "\ntotals: injected=%d resolved=%d dropped=%d (%.2f%%)\n" m.Metrics.injected
-    m.Metrics.resolved (Metrics.dropped_total m)
-    (100.0 *. Metrics.drop_fraction m);
-  Printf.printf "dropped at dead servers: %d, dead ends: %d, stale forwards pruned-and-retried: %d\n"
+  Printf.printf "\ndropped at dead servers: %d, dead ends: %d, stale forwards pruned-and-retried: %d\n"
     m.Metrics.dropped_server_dead m.Metrics.dropped_dead_end m.Metrics.stale_forwards;
   Printf.printf "replicas created: %d (failure recovery re-replicates on its own)\n"
     m.Metrics.replicas_created;

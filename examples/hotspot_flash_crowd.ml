@@ -1,12 +1,12 @@
 (* Flash crowd: a calm uniform workload, then a sudden extreme hot-spot
    (the paper's motivating scenario — §1 "arbitrary and instantaneous
-   changes in demand distribution").
+   changes in demand distribution") — expressed as a chaos timeline.
 
-   A background uniform stream runs throughout; at t = 30 s a Zipf-1.5
-   stream with four instantaneous popularity re-rankings slams the system.
-   Watch: drops spike momentarily at each shift, replicas chase the hot
-   nodes, and the maximum server load sinks back toward the high-water
-   threshold.
+   A background uniform stream runs throughout; at t = 30 s the timeline
+   fires a Flash_crowd action: a Zipf-1.5 stream with four instantaneous
+   popularity re-rankings slams the system.  Watch the per-window report:
+   availability wobbles at each shift, replicas chase the hot nodes, and
+   the trajectory settles back once the crowd passes.
 
    Run with: dune exec examples/hotspot_flash_crowd.exe *)
 
@@ -14,45 +14,32 @@ open Terradir_util
 open Terradir_namespace
 open Terradir
 open Terradir_workload
-
-(* Per-second sums padded to [bins]. *)
-let per_second ts bins =
-  let sums = Timeseries.sums ts in
-  Array.init bins (fun i -> if i < Array.length sums then sums.(i) else 0.0)
+module Chaos = Terradir_chaos
 
 let () =
   let tree = Build.balanced ~arity:2 ~levels:10 in
   let config = { Config.default with Config.num_servers = 128; seed = 23 } in
   let cluster = Cluster.create ~config ~tree () in
-
   let background = Stream.unif ~rate:300.0 ~duration:120.0 in
-  let flash_crowd =
-    (* a negligible trickle for 30 s stands in for "not started yet", then
-       shifting Zipf-1.5 hammering *)
-    { Stream.duration = 30.0; rate = 1.0; dist = Stream.Uniform }
-    :: List.init 4 (fun _ ->
-           {
-             Stream.duration = 22.5;
-             rate = 900.0;
-             dist = Stream.Zipf { alpha = 1.5; reshuffle = true };
-           })
+  let flash_phases =
+    List.init 4 (fun _ ->
+        { Stream.duration = 22.5; rate = 900.0; dist = Stream.Zipf { alpha = 1.5; reshuffle = true } })
   in
-  Scenario.run_interleaved cluster ~streams:[ (background, 5); (flash_crowd, 6) ];
-
+  let timeline =
+    Chaos.Timeline.make [ (30.0, Chaos.Action.Flash_crowd { phases = flash_phases; seed = 6 }) ]
+  in
+  let report =
+    Chaos.Chaos.run ~window:5.0 ~scenario:"hotspot-flash-crowd" ~seed:23 cluster
+      ~workload:background ~workload_seed:5 ~timeline ()
+  in
+  print_endline "t(s)   issued  resolved  avail   p99(s)  replicas   (flash crowd starts at t=30)";
+  List.iter
+    (fun w ->
+      Printf.printf "%5.0f  %7d %9d  %.3f  %7.3f  %8d\n" w.Chaos.Report.w_start
+        w.Chaos.Report.issued w.Chaos.Report.resolved w.Chaos.Report.availability
+        w.Chaos.Report.p99_latency w.Chaos.Report.replicas_created)
+    report.Chaos.Report.windows;
   let m = Cluster.metrics cluster in
-  let drops = per_second m.Metrics.drops_ts 120 in
-  let replicas = per_second m.Metrics.replicas_ts 120 in
-  let max_load = Timeseries.maxima m.Metrics.load_max_ts in
-
-  print_endline "t(s)  drops/s  replicas-created/s  max-load   (flash crowd starts at t=30)";
-  Array.iteri
-    (fun t d ->
-      if t mod 5 = 0 then
-        Printf.printf "%4d  %7.0f  %18.0f  %8.2f\n" t d
-          (if t < Array.length replicas then replicas.(t) else 0.0)
-          (if t < Array.length max_load then max_load.(t) else 0.0))
-    drops;
-
   Printf.printf "\ntotals: injected=%d resolved=%d dropped=%d replicas=%d sessions=%d\n"
     m.Metrics.injected m.Metrics.resolved (Metrics.dropped_total m) m.Metrics.replicas_created
     m.Metrics.sessions_started;

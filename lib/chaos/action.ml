@@ -1,0 +1,70 @@
+open Terradir_workload
+
+type t =
+  | Kill of int list
+  | Revive of int list
+  | Revive_killed
+  | Graceful_leave of int list
+  | Kill_fraction of { fraction : float; salt : int }
+  | Partition of { tag : string; a : int list; b : int list; directed : bool }
+  | Heal of string
+  | Heal_all
+  | Set_loss of float
+  | Set_jitter of float
+  | Flash_crowd of { phases : Stream.phase list; seed : int }
+  | Rate_shift of float
+
+let kind = function
+  | Kill _ -> "kill"
+  | Revive _ -> "revive"
+  | Revive_killed -> "revive_killed"
+  | Graceful_leave _ -> "graceful_leave"
+  | Kill_fraction _ -> "kill_fraction"
+  | Partition _ -> "partition"
+  | Heal _ -> "heal"
+  | Heal_all -> "heal_all"
+  | Set_loss _ -> "set_loss"
+  | Set_jitter _ -> "set_jitter"
+  | Flash_crowd _ -> "flash_crowd"
+  | Rate_shift _ -> "rate_shift"
+
+(* Render a sorted id list compactly and comma-free: a contiguous run as
+   "lo..hi", anything else "+"-joined ("3+7+12").  The detail strings
+   land in CSV cells and the JSON report, so they must stay free of
+   commas and quotes. *)
+let ids_to_string ids =
+  match List.sort_uniq Int.compare ids with
+  | [] -> "none"
+  | sorted ->
+    let lo = List.hd sorted and hi = List.nth sorted (List.length sorted - 1) in
+    if hi - lo + 1 = List.length sorted && List.length sorted > 2 then
+      Printf.sprintf "%d..%d" lo hi
+    else String.concat "+" (List.map string_of_int sorted)
+
+let detail = function
+  | Kill ids -> Printf.sprintf "servers=%s" (ids_to_string ids)
+  | Revive ids -> Printf.sprintf "servers=%s" (ids_to_string ids)
+  | Revive_killed -> ""
+  | Graceful_leave ids -> Printf.sprintf "servers=%s" (ids_to_string ids)
+  | Kill_fraction { fraction; salt } -> Printf.sprintf "fraction=%.4f salt=%d" fraction salt
+  | Partition { tag; a; b; directed } ->
+    Printf.sprintf "tag=%s a=%s b=%s directed=%b" tag (ids_to_string a) (ids_to_string b)
+      directed
+  | Heal tag -> Printf.sprintf "tag=%s" tag
+  | Heal_all -> ""
+  | Set_loss p -> Printf.sprintf "loss=%.4f" p
+  | Set_jitter j -> Printf.sprintf "jitter=%.6f" j
+  | Flash_crowd { phases; seed } ->
+    Printf.sprintf "phases=%d duration=%.1f seed=%d" (List.length phases)
+      (Stream.total_duration phases) seed
+  | Rate_shift f -> Printf.sprintf "factor=%.4f" f
+
+(* Recovery markers anchor the report's time-to-reconvergence clocks:
+   actions after which the system is {e expected} to climb back to the
+   baseline band.  Loss/jitter resets and rate shifts back down could
+   qualify too, but their "recovered" state is ambiguous (the knob may
+   move several times); the unambiguous set is below. *)
+let is_recovery = function
+  | Revive _ | Revive_killed | Heal _ | Heal_all -> true
+  | Kill _ | Graceful_leave _ | Kill_fraction _ | Partition _ | Set_loss _ | Set_jitter _
+  | Flash_crowd _ | Rate_shift _ -> false

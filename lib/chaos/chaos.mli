@@ -1,0 +1,57 @@
+(** The chaos scenario runner: apply a fault {!Timeline} to a cluster
+    while a workload runs, and measure resilience.
+
+    {b Determinism rules} (DESIGN §15):
+    - every action fires from the cluster's own event engine in a solo
+      driver event, so fault injection interleaves with protocol traffic
+      at one deterministic point for every [engine_domains] value;
+    - the only randomness actions consume is either the cluster's own
+      driver-side stream ([graceful_leave]'s peer picks) or a private
+      stream derived from a declared salt ([Kill_fraction]) — never
+      wall-clock, never a global generator;
+    - window snapshots run in the engine's solo sync context and are pure
+      observation;
+    - [Set_jitter] may not exceed the configured [net_jitter]: the
+      conservative engine's lookahead was fixed at cluster creation from
+      the latency floor, so a campaign that shakes jitter declares its
+      maximum up front (and typically opens with a [Set_jitter] down to
+      the intended starting value).  The bound is enforced at {e every}
+      shard count so a timeline valid at K=1 is valid at K=4.
+
+    The result is a {!Report.t} whose trajectory fields are
+    byte-identical across [engine_domains] and across repeated runs with
+    the same seeds. *)
+
+val run :
+  ?drain:float ->
+  ?window:float ->
+  ?slo:Report.slo ->
+  ?scenario:string ->
+  ?seed:int ->
+  ?fetch_probability:float ->
+  Terradir.Cluster.t ->
+  workload:Terradir_workload.Stream.phase list ->
+  workload_seed:int ->
+  timeline:Timeline.t ->
+  unit ->
+  Report.t
+(** Start the base workload, schedule every timeline action (offsets are
+    relative to the engine's current time), run to the end of all streams
+    plus [drain] (default 2 s) rounded up to a whole number of windows
+    (default 1 s), and assemble the report.
+
+    [scenario] and [seed] are metadata echoed into the report;
+    [slo] (default {!Report.default_slo}) sets the reconvergence band;
+    [fetch_probability] is passed through to the base workload stream.
+
+    Availability is measured per window as resolved/issued (clamped to
+    [0, 1], vacuously 1 when idle); the baseline aggregates the windows
+    that end before the first timeline action (absent when the first
+    action lands inside the first window).  Each recovery action starts a
+    reconvergence clock that stops at the end of the first subsequent
+    window back inside the SLO band.
+
+    @raise Invalid_argument on an invalid timeline (out-of-range server
+    ids, [Heal] of a never-installed tag, [Set_jitter] above the
+    configured ceiling, bad probabilities or rates) or invalid
+    window/drain/slo parameters. *)

@@ -1,0 +1,226 @@
+type window = {
+  w_start : float;
+  w_end : float;
+  issued : int;
+  resolved : int;
+  dropped : int;
+  availability : float;
+  p99_latency : float;
+  replicas_created : int;
+  net_lost : int;
+  net_blocked : int;
+  alive : int;
+}
+
+type event = {
+  e_time : float;
+  e_kind : string;
+  e_detail : string;
+  e_recovery : bool;
+}
+
+type recovery = {
+  r_time : float;
+  r_kind : string;
+  r_reconverged : float option;
+}
+
+type baseline = {
+  b_windows : int;
+  b_availability : float;
+  b_p99 : float;
+}
+
+type totals = {
+  injected : int;
+  resolved_total : int;
+  dropped_total : int;
+  unresolved : int;
+  replicas_total : int;
+  net_lost_total : int;
+  net_blocked_total : int;
+}
+
+type slo = {
+  availability_drop : float;
+  p99_factor : float;
+}
+
+let default_slo = { availability_drop = 0.05; p99_factor = 2.0 }
+
+type t = {
+  scenario : string;
+  seed : int;
+  workload_seed : int;
+  engine_domains : int;
+  servers : int;
+  window_s : float;
+  duration_s : float;
+  slo : slo;
+  baseline : baseline option;
+  windows : window list;
+  events : event list;
+  recoveries : recovery list;
+  totals : totals;
+}
+
+(* ---- JSON rendering ----
+
+   Hand-rolled like tools/trace_check's consumer side: the repo carries
+   no JSON dependency.  Floats print as %.6f — fixed precision keeps the
+   report byte-identical across runs and engine shard counts. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jf x = Printf.sprintf "%.6f" x
+
+let window_to_json w =
+  Printf.sprintf
+    "{\"t_start\": %s, \"t_end\": %s, \"issued\": %d, \"resolved\": %d, \"dropped\": %d, \
+     \"availability\": %s, \"p99_s\": %s, \"replicas_created\": %d, \"net_lost\": %d, \
+     \"net_blocked\": %d, \"alive\": %d}"
+    (jf w.w_start) (jf w.w_end) w.issued w.resolved w.dropped (jf w.availability)
+    (jf w.p99_latency) w.replicas_created w.net_lost w.net_blocked w.alive
+
+let event_to_json e =
+  Printf.sprintf "{\"t\": %s, \"kind\": \"%s\", \"detail\": \"%s\", \"recovery\": %b}"
+    (jf e.e_time) (json_escape e.e_kind) (json_escape e.e_detail) e.e_recovery
+
+let recovery_to_json r =
+  Printf.sprintf "{\"t\": %s, \"kind\": \"%s\", \"reconverged_s\": %s}" (jf r.r_time)
+    (json_escape r.r_kind)
+    (match r.r_reconverged with None -> "null" | Some t -> jf t)
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"terradir-resilience-report\",\n";
+  Buffer.add_string b "  \"version\": 1,\n";
+  Buffer.add_string b (Printf.sprintf "  \"scenario\": \"%s\",\n" (json_escape t.scenario));
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" t.seed);
+  Buffer.add_string b (Printf.sprintf "  \"workload_seed\": %d,\n" t.workload_seed);
+  Buffer.add_string b (Printf.sprintf "  \"engine_domains\": %d,\n" t.engine_domains);
+  Buffer.add_string b (Printf.sprintf "  \"servers\": %d,\n" t.servers);
+  Buffer.add_string b (Printf.sprintf "  \"window_s\": %s,\n" (jf t.window_s));
+  Buffer.add_string b (Printf.sprintf "  \"duration_s\": %s,\n" (jf t.duration_s));
+  Buffer.add_string b
+    (Printf.sprintf "  \"slo\": {\"availability_drop\": %s, \"p99_factor\": %s},\n"
+       (jf t.slo.availability_drop) (jf t.slo.p99_factor));
+  (match t.baseline with
+  | None -> Buffer.add_string b "  \"baseline\": null,\n"
+  | Some base ->
+    Buffer.add_string b
+      (Printf.sprintf "  \"baseline\": {\"windows\": %d, \"availability\": %s, \"p99_s\": %s},\n"
+         base.b_windows (jf base.b_availability) (jf base.b_p99)));
+  Buffer.add_string b "  \"windows\": [\n";
+  List.iteri
+    (fun i w ->
+      Buffer.add_string b "    ";
+      Buffer.add_string b (window_to_json w);
+      if i < List.length t.windows - 1 then Buffer.add_string b ",";
+      Buffer.add_string b "\n")
+    t.windows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"events\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b "    ";
+      Buffer.add_string b (event_to_json e);
+      if i < List.length t.events - 1 then Buffer.add_string b ",";
+      Buffer.add_string b "\n")
+    t.events;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"recoveries\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b "    ";
+      Buffer.add_string b (recovery_to_json r);
+      if i < List.length t.recoveries - 1 then Buffer.add_string b ",";
+      Buffer.add_string b "\n")
+    t.recoveries;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"totals\": {\"injected\": %d, \"resolved\": %d, \"dropped\": %d, \"unresolved\": \
+        %d, \"replicas_created\": %d, \"net_lost\": %d, \"net_blocked\": %d}\n"
+       t.totals.injected t.totals.resolved_total t.totals.dropped_total t.totals.unresolved
+       t.totals.replicas_total t.totals.net_lost_total t.totals.net_blocked_total);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let windows_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "t_start,t_end,issued,resolved,dropped,availability,p99_s,replicas_created,net_lost,net_blocked,alive\n";
+  List.iter
+    (fun w ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%d,%d,%d,%s,%s,%d,%d,%d,%d\n" (jf w.w_start) (jf w.w_end)
+           w.issued w.resolved w.dropped (jf w.availability) (jf w.p99_latency)
+           w.replicas_created w.net_lost w.net_blocked w.alive))
+    t.windows;
+  Buffer.contents b
+
+let min_fault_availability t =
+  match t.baseline with
+  | None -> List.fold_left (fun acc w -> Float.min acc w.availability) 1.0 t.windows
+  | Some base ->
+    let skip = base.b_windows in
+    let rest = List.filteri (fun i _ -> i >= skip) t.windows in
+    List.fold_left (fun acc w -> Float.min acc w.availability) 1.0 rest
+
+let mean_time_to_reconvergence t =
+  let times =
+    List.filter_map
+      (fun r -> match r.r_reconverged with None -> None | Some at -> Some (at -. r.r_time))
+      t.recoveries
+  in
+  match times with
+  | [] -> None
+  | ts -> Some (List.fold_left ( +. ) 0.0 ts /. float_of_int (List.length ts))
+
+let summary_rows t =
+  let f = Printf.sprintf in
+  let base_rows =
+    match t.baseline with
+    | None -> [ ("baseline", "none (faults start before the first full window)") ]
+    | Some base ->
+      [
+        ("baseline windows", f "%d" base.b_windows);
+        ("baseline availability", f "%.4f" base.b_availability);
+        ("baseline p99 (s)", f "%.4f" base.b_p99);
+      ]
+  in
+  let reconv_rows =
+    List.map
+      (fun r ->
+        ( f "reconvergence after %s @ %.1fs" r.r_kind r.r_time,
+          match r.r_reconverged with
+          | None -> "never (within the run)"
+          | Some at -> f "%.1fs (at t=%.1fs)" (at -. r.r_time) at ))
+      t.recoveries
+  in
+  [
+    ("scenario", t.scenario);
+    ("servers", f "%d" t.servers);
+    ("windows", f "%d x %.1fs" (List.length t.windows) t.window_s);
+    ("injected", f "%d" t.totals.injected);
+    ("resolved", f "%d" t.totals.resolved_total);
+    ("dropped", f "%d" t.totals.dropped_total);
+    ("unresolved", f "%d" t.totals.unresolved);
+  ]
+  @ base_rows
+  @ [ ("min availability (fault era)", f "%.4f" (min_fault_availability t)) ]
+  @ reconv_rows

@@ -1,0 +1,102 @@
+(** The resilience report: what a chaos campaign measured.
+
+    Pure data plus renderers — building one is {!Chaos.run}'s job.  The
+    JSON form is schema'd ("terradir-resilience-report", version 1) and
+    validated by [tools/report_check]; all floats print at fixed %.6f
+    precision so a report is byte-identical across runs with the same
+    seed and across engine shard counts (modulo the [engine_domains]
+    metadata field itself). *)
+
+type window = {
+  w_start : float;
+  w_end : float;
+  issued : int;  (** queries injected during the window *)
+  resolved : int;  (** resolutions completing during the window *)
+  dropped : int;  (** drops (all reasons) during the window *)
+  availability : float;
+      (** resolved/issued clamped to [0, 1]; 1.0 for an idle window
+          (nothing asked, nothing failed) *)
+  p99_latency : float;  (** p99 of resolutions completing this window; 0 if none *)
+  replicas_created : int;
+  net_lost : int;
+  net_blocked : int;
+  alive : int;  (** alive servers at window end *)
+}
+
+type event = {
+  e_time : float;  (** absolute simulation time the action fired *)
+  e_kind : string;
+  e_detail : string;
+  e_recovery : bool;
+}
+
+type recovery = {
+  r_time : float;
+  r_kind : string;
+  r_reconverged : float option;
+      (** end time of the first window at/after [r_time] back inside the
+          SLO band of the baseline; [None] if the run ended first (or no
+          baseline was measurable) *)
+}
+
+type baseline = {
+  b_windows : int;  (** windows wholly before the first timeline action *)
+  b_availability : float;
+  b_p99 : float;
+}
+
+type totals = {
+  injected : int;
+  resolved_total : int;
+  dropped_total : int;
+  unresolved : int;  (** injected - resolved - dropped: never answered *)
+  replicas_total : int;
+  net_lost_total : int;
+  net_blocked_total : int;
+}
+
+(** The reconvergence band: a window counts as recovered when its
+    availability is within [availability_drop] of the baseline's and its
+    p99 latency within [p99_factor] times the baseline's. *)
+type slo = {
+  availability_drop : float;
+  p99_factor : float;
+}
+
+val default_slo : slo
+(** availability within 0.05, p99 within 2x. *)
+
+type t = {
+  scenario : string;
+  seed : int;
+  workload_seed : int;
+  engine_domains : int;
+  servers : int;
+  window_s : float;
+  duration_s : float;
+  slo : slo;
+  baseline : baseline option;
+  windows : window list;
+  events : event list;
+  recoveries : recovery list;
+  totals : totals;
+}
+
+val to_json : t -> string
+(** The schema'd report document (see [tools/report_check] for the
+    contract). *)
+
+val windows_csv : t -> string
+(** The per-window trajectory as CSV (header + one row per window) — the
+    plottable availability/p99 time series. *)
+
+val min_fault_availability : t -> float
+(** Lowest windowed availability at or after the first fault (over the
+    whole run when there is no baseline). *)
+
+val mean_time_to_reconvergence : t -> float option
+(** Mean over recoveries that did reconverge; [None] when none did (or
+    the timeline had no recovery actions). *)
+
+val summary_rows : t -> (string * string) list
+(** Human-readable key/value summary for terminal reports. *)

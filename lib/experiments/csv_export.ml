@@ -164,6 +164,35 @@ let hetero ?scale ?seed dir =
       (table_csv ~header:[ "spread"; "system"; "drop_fraction"; "latency_s"; "mean_max_load" ] rows);
   ]
 
+let resilience ?scale ?seed dir =
+  let r = Resilience.run ?scale ?seed () in
+  let rows =
+    List.map
+      (fun (row : Resilience.row) ->
+        [
+          row.Resilience.campaign;
+          f "%.2f" row.Resilience.r_fact;
+          f "%.6f" row.Resilience.baseline_availability;
+          f "%.6f" row.Resilience.min_availability;
+          f "%.6f" row.Resilience.drop_fraction;
+          string_of_int row.Resilience.unresolved;
+          string_of_int row.Resilience.recovered;
+          string_of_int row.Resilience.recoveries;
+          (match row.Resilience.mean_ttr with None -> "" | Some t -> f "%.6f" t);
+        ])
+      r.Resilience.rows
+  in
+  [
+    write_file dir "resilience.csv"
+      (table_csv
+         ~header:
+           [
+             "campaign"; "r_fact"; "baseline_availability"; "min_availability"; "drop_fraction";
+             "unresolved"; "recovered"; "recoveries"; "mean_ttr_s";
+           ]
+         rows);
+  ]
+
 let capacity ?scale ?seed dir =
   let r = Capacity.run ?scale ?seed () in
   let rows = List.map (fun (k, v) -> [ k; v ]) (Capacity.rows r) in
@@ -181,6 +210,7 @@ let exporters =
     ("rfact", rfact);
     ("ablations", ablations);
     ("hetero", hetero);
+    ("resilience", resilience);
     ("capacity", capacity);
   ]
 

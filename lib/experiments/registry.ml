@@ -64,6 +64,14 @@ let all =
       run = (fun ?scale ?duration ?seed () -> Hetero.print (Hetero.run ?scale ?duration ?seed ()));
     };
     {
+      id = "resilience";
+      title = "resilience: chaos campaigns vs replication factor";
+      (* Campaign timelines are fixed-length — duration does not apply. *)
+      run =
+        (fun ?scale ?duration:_ ?seed () ->
+          Resilience.print (Resilience.run ?scale ?seed ()));
+    };
+    {
       id = "capacity";
       title = "capacity: macro throughput at scale (analytic rate)";
       (* Sized in queries, not seconds — duration does not apply. *)

@@ -29,6 +29,8 @@ type t =
   (* -- server occupancy transitions -- *)
   | Server_busy of { queue_depth : int }
   | Server_idle
+  (* -- chaos campaign timeline -- *)
+  | Chaos_action of { action : string; detail : string }
 
 let kind = function
   | Query_injected _ -> "query_injected"
@@ -54,6 +56,7 @@ let kind = function
   | Net_blocked _ -> "net_blocked"
   | Server_busy _ -> "server_busy"
   | Server_idle -> "server_idle"
+  | Chaos_action _ -> "chaos_action"
 
 (* One compact [k=v] detail string per constructor; used by the event CSV
    and the terminal dump.  Keep it comma-free: it lands in a CSV cell. *)
@@ -86,6 +89,9 @@ let detail = function
   | Net_blocked { src; dst } -> Printf.sprintf "src=%d dst=%d" src dst
   | Server_busy { queue_depth } -> Printf.sprintf "queue_depth=%d" queue_depth
   | Server_idle -> ""
+  | Chaos_action { action; detail } ->
+    if detail = "" then Printf.sprintf "action=%s" action
+    else Printf.sprintf "action=%s %s" action detail
 
 let qid = function
   | Query_injected { qid; _ }
@@ -99,4 +105,5 @@ let qid = function
   | Retransmit { qid; _ } -> Some qid
   | Replica_created _ | Replica_evicted _ | Replica_advertised _ | Session_trigger _
   | Session_started _ | Session_aborted _ | Cache_hit _ | Cache_miss _ | Digest_prune _
-  | Digest_shortcut _ | Net_lost _ | Net_blocked _ | Server_busy _ | Server_idle -> None
+  | Digest_shortcut _ | Net_lost _ | Net_blocked _ | Server_busy _ | Server_idle
+  | Chaos_action _ -> None

@@ -56,6 +56,11 @@ type t =
       (** the stamped server left the idle state; emitted on the
           idle->busy edge only, not per queued request *)
   | Server_idle  (** the stamped server drained its queue *)
+  | Chaos_action of { action : string; detail : string }
+      (** a chaos-timeline action fired (kill, partition, heal, ...);
+          [action] is the stable action tag, [detail] its comma-free
+          [k=v] rendering.  Stamped on server 0 by convention: campaign
+          actions are cluster-wide, not tied to one server. *)
 
 val kind : t -> string
 (** Stable snake_case tag for CSV export and summaries ("query_injected",

@@ -36,7 +36,7 @@ let instant_detail ev =
   | Event.Query_dropped _ | Event.Retransmit _ | Event.Replica_created _
   | Event.Replica_evicted _ | Event.Replica_advertised _ | Event.Session_trigger _
   | Event.Session_started _ | Event.Session_aborted _ | Event.Digest_prune _
-  | Event.Digest_shortcut _ | Event.Net_lost _ | Event.Net_blocked _ ->
+  | Event.Digest_shortcut _ | Event.Net_lost _ | Event.Net_blocked _ | Event.Chaos_action _ ->
     Some (Event.kind ev, Event.detail ev)
   | Event.Query_injected _ | Event.Queue_enter _ | Event.Service_begin _ | Event.Service_end _
   | Event.Net_transit _ | Event.Query_forwarded _ | Event.Query_resolved _ | Event.Cache_hit _

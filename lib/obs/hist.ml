@@ -73,6 +73,34 @@ let absorb ~into src =
   done;
   into.count <- into.count + src.count
 
+(* Windowed readout: the per-bucket difference of two cumulative
+   snapshots of the SAME value stream.  Bucket counts and the total are
+   exact; the window's true extremes are unknown, so the float moments
+   are bounded by the occupied bucket range (midpoints) — quantiles of
+   the diff therefore carry the usual ~3% bucket error at the edges too.
+   Deterministic: no RNG, no float accumulation order dependence beyond
+   the subtraction of the two snapshots' sums. *)
+let diff t ~since =
+  let d = create () in
+  let lo = ref (-1) and hi = ref (-1) in
+  for i = 0 to nbuckets - 1 do
+    let c = t.counts.(i) - since.counts.(i) in
+    if c < 0 then invalid_arg "Hist.diff: since is not an earlier snapshot of t";
+    d.counts.(i) <- c;
+    if c > 0 then begin
+      if !lo < 0 then lo := i;
+      hi := i
+    end
+  done;
+  d.count <- t.count - since.count;
+  if d.count < 0 then invalid_arg "Hist.diff: since is not an earlier snapshot of t";
+  d.sum <- t.sum -. since.sum;
+  if d.count > 0 then begin
+    d.vmin <- value_of_index !lo;
+    d.vmax <- value_of_index !hi
+  end;
+  d
+
 let set_moments t ~sum ~vmin ~vmax =
   t.sum <- sum;
   if t.count > 0 then begin

@@ -25,6 +25,16 @@ val absorb : into:t -> t -> unit
     {!set_moments} from a K-independent source (the per-server [Stats]
     fold that saw the identical value stream). *)
 
+val diff : t -> since:t -> t
+(** [diff t ~since] is the histogram of the values added between the
+    [since] snapshot and [t] (two cumulative histograms of the same value
+    stream): bucket counts and the total subtract exactly.  The window's
+    true extremes are unknown, so min/max are taken from the occupied
+    bucket range (midpoints) — windowed quantiles carry the usual bucket
+    error at the edges too.  Deterministic for any engine shard count.
+    @raise Invalid_argument if [since] is not an earlier snapshot of [t]
+    (any bucket would go negative). *)
+
 val set_moments : t -> sum:float -> vmin:float -> vmax:float -> unit
 (** Overwrite the float moments after {!absorb}.  [vmin]/[vmax] are
     ignored when the histogram is empty. *)

@@ -108,7 +108,8 @@ let apply b ~time ~server (ev : Event.t) =
   | Event.Replica_created _ | Event.Replica_evicted _ | Event.Replica_advertised _
   | Event.Session_trigger _ | Event.Session_started _ | Event.Session_aborted _
   | Event.Cache_hit _ | Event.Cache_miss _ | Event.Digest_prune _ | Event.Digest_shortcut _
-  | Event.Net_lost _ | Event.Net_blocked _ | Event.Server_busy _ | Event.Server_idle -> ()
+  | Event.Net_lost _ | Event.Net_blocked _ | Event.Server_busy _ | Event.Server_idle
+  | Event.Chaos_action _ -> ()
 
 let finish qid b =
   let segs =

@@ -167,6 +167,8 @@ let merged ~parts ~latency ~hops ~data_latency ~meta_lag =
 let drop_fraction t =
   if t.injected = 0 then 0.0 else float_of_int (dropped_total t) /. float_of_int t.injected
 
+let unresolved t = t.injected - t.resolved - dropped_total t
+
 (* ---- the counter field-spec ----
 
    Single source of truth for every cumulative counter: (csv column,

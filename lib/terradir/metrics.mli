@@ -89,6 +89,12 @@ val replica_created : t -> now:float -> unit
 val drop_fraction : t -> float
 (** Dropped / injected over the whole run (Fig. 5's metric). *)
 
+val unresolved : t -> int
+(** Queries injected but neither resolved nor counted as dropped — still
+    in flight at observation time (or stranded awaiting an rpc timer that
+    is disabled).  The chaos resilience report tracks this so a campaign
+    can distinguish "failed fast" from "never answered". *)
+
 val summary_rows : t -> (string * string) list
 (** Human-readable key/value summary for reports.  Counter rows are
     generated from {!counter_fields}; derived rows (drop fraction, means,

@@ -147,6 +147,30 @@ let test_scenario_validation () =
         ~phases:[ { Stream.duration = 1.0; rate = 0.0; dist = Stream.Uniform } ]
         ~seed:1)
 
+let test_interleaved_single_stream_matches_run () =
+  (* A single interleaved stream must be byte-identical to [run] with the
+     same arguments — including the optional fetch and phase-callback
+     machinery.  Any trajectory difference is a byte diff in the full
+     metrics CSV. *)
+  let phases = Stream.uzipf ~rate:150.0 ~warmup:4.0 ~alpha:1.1 ~shift_every:4.0 ~shifts:2 in
+  let csv_of ~phases_seen driver =
+    let cluster = mk_cluster () in
+    driver cluster ~fetch_probability:0.3 ~on_phase:(fun i _ -> phases_seen := i :: !phases_seen);
+    Terradir_experiments.Csv_export.metrics_csv (Cluster.metrics cluster)
+  in
+  let seen_run = ref [] and seen_inter = ref [] in
+  let via_run =
+    csv_of ~phases_seen:seen_run (fun cluster ~fetch_probability ~on_phase ->
+        Scenario.run cluster ~phases ~seed:9 ~fetch_probability ~on_phase)
+  in
+  let via_interleaved =
+    csv_of ~phases_seen:seen_inter (fun cluster ~fetch_probability ~on_phase ->
+        Scenario.run_interleaved cluster ~streams:[ (phases, 9) ] ~fetch_probability ~on_phase)
+  in
+  Alcotest.(check string) "single interleaved stream == run, byte for byte" via_run
+    via_interleaved;
+  Alcotest.(check (list int)) "same phase callbacks in the same order" !seen_run !seen_inter
+
 let test_scenario_interleaved () =
   let cluster = mk_cluster () in
   Scenario.run_interleaved cluster
@@ -181,5 +205,7 @@ let () =
           Alcotest.test_case "phase callback" `Quick test_scenario_on_phase_callback;
           Alcotest.test_case "validation" `Quick test_scenario_validation;
           Alcotest.test_case "interleaved" `Slow test_scenario_interleaved;
+          Alcotest.test_case "interleaved single stream == run" `Slow
+            test_interleaved_single_stream_matches_run;
         ] );
     ]

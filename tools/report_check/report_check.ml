@@ -1,0 +1,211 @@
+(* Resilience-report schema validator.
+
+   Checks a "terradir-resilience-report" JSON document (written by
+   Terradir_chaos.Report.to_json) for structural and arithmetic sanity:
+
+   - schema/version tag, required metadata fields with sane ranges;
+   - windows: non-empty, contiguous ([t_start] of window k+1 equals
+     [t_end] of window k), uniform width [window_s], availability in
+     [0, 1], all counts non-negative, alive <= servers;
+   - events: times ascending (file order is fire order), inside the run;
+   - recoveries: one per recovery-flagged event, [reconverged_s] null or
+     at/after the recovery time and inside the run;
+   - totals: non-negative, injected = resolved + dropped + unresolved,
+     and each of injected/resolved/dropped equals the sum over windows.
+
+   Dependency-free (reuses trace_check's hand-rolled JSON reader — the
+   image carries no JSON library).  Used by test/test_chaos.ml in-process
+   and by the CI chaos-smoke job on a report written by
+   terradir_sim chaos --out. *)
+
+module Json = Terradir_trace_check.Json
+
+type stats = {
+  windows : int;
+  events : int;
+  recoveries : int;
+  reconverged : int;  (** recoveries with a finite reconvergence time *)
+}
+
+let eps = 1e-6
+
+let validate_json json =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let num key obj = Option.bind (Json.member key obj) Json.to_float in
+  let str key obj = Option.bind (Json.member key obj) Json.to_string in
+  let require_num ~what key obj =
+    match num key obj with
+    | Some v -> v
+    | None ->
+      err "%s: missing numeric %S" what key;
+      0.0
+  in
+  let require_count ~what key obj =
+    let v = require_num ~what key obj in
+    if Float.rem v 1.0 <> 0.0 || v < 0.0 then err "%s: %S must be a non-negative integer" what key;
+    v
+  in
+  (match str "schema" json with
+  | Some "terradir-resilience-report" -> ()
+  | Some other -> err "schema: expected terradir-resilience-report, got %S" other
+  | None -> err "schema: missing string field");
+  (match num "version" json with
+  | Some 1.0 -> ()
+  | Some v -> err "version: expected 1, got %g" v
+  | None -> err "version: missing numeric field");
+  if str "scenario" json = None then err "scenario: missing string field";
+  ignore (require_count ~what:"metadata" "workload_seed" json : float);
+  let servers = require_count ~what:"metadata" "servers" json in
+  let domains = require_count ~what:"metadata" "engine_domains" json in
+  if domains < 1.0 then err "engine_domains: must be >= 1";
+  let window_s = require_num ~what:"metadata" "window_s" json in
+  if window_s <= 0.0 then err "window_s: must be positive";
+  let duration_s = require_num ~what:"metadata" "duration_s" json in
+  if duration_s <= 0.0 then err "duration_s: must be positive";
+  (match Json.member "slo" json with
+  | Some (Json.Obj _ as slo) ->
+    if require_num ~what:"slo" "availability_drop" slo < 0.0 then
+      err "slo: availability_drop must be >= 0";
+    if require_num ~what:"slo" "p99_factor" slo < 1.0 then err "slo: p99_factor must be >= 1"
+  | _ -> err "slo: missing object");
+  (match Json.member "baseline" json with
+  | Some Json.Null -> ()
+  | Some (Json.Obj _ as base) ->
+    if require_count ~what:"baseline" "windows" base < 1.0 then
+      err "baseline: windows must be >= 1";
+    let avail = require_num ~what:"baseline" "availability" base in
+    if avail < 0.0 || avail > 1.0 then err "baseline: availability outside [0, 1]";
+    if require_num ~what:"baseline" "p99_s" base < 0.0 then err "baseline: p99_s must be >= 0"
+  | _ -> err "baseline: missing (object or null)");
+  let run_start = ref 0.0 and run_end = ref 0.0 in
+  let sum_issued = ref 0.0 and sum_resolved = ref 0.0 and sum_dropped = ref 0.0 in
+  (match Json.member "windows" json with
+  | Some (Json.Arr []) -> err "windows: empty array"
+  | Some (Json.Arr ws) ->
+    let prev_end = ref None in
+    List.iteri
+      (fun i w ->
+        let what = Printf.sprintf "window %d" i in
+        match w with
+        | Json.Obj _ ->
+          let t0 = require_num ~what "t_start" w and t1 = require_num ~what "t_end" w in
+          if t1 <= t0 then err "%s: t_end must exceed t_start" what;
+          if Float.abs (t1 -. t0 -. window_s) > eps then
+            err "%s: width %g differs from window_s %g" what (t1 -. t0) window_s;
+          (match !prev_end with
+          | Some pe when Float.abs (pe -. t0) > eps ->
+            err "%s: t_start %g does not continue previous t_end %g (gap or overlap)" what t0 pe
+          | _ -> ());
+          prev_end := Some t1;
+          if i = 0 then run_start := t0;
+          run_end := t1;
+          let issued = require_count ~what "issued" w in
+          let resolved = require_count ~what "resolved" w in
+          let dropped = require_count ~what "dropped" w in
+          sum_issued := !sum_issued +. issued;
+          sum_resolved := !sum_resolved +. resolved;
+          sum_dropped := !sum_dropped +. dropped;
+          ignore (require_count ~what "replicas_created" w : float);
+          ignore (require_count ~what "net_lost" w : float);
+          ignore (require_count ~what "net_blocked" w : float);
+          let alive = require_count ~what "alive" w in
+          if alive > servers then err "%s: alive %g exceeds servers %g" what alive servers;
+          let avail = require_num ~what "availability" w in
+          if avail < 0.0 || avail > 1.0 then err "%s: availability outside [0, 1]" what;
+          if issued > 0.0 && Float.abs (avail -. Float.min 1.0 (resolved /. issued)) > eps then
+            err "%s: availability %g inconsistent with resolved/issued %g/%g" what avail resolved
+              issued;
+          if issued = 0.0 && avail <> 1.0 then err "%s: idle window must report availability 1" what;
+          if require_num ~what "p99_s" w < 0.0 then err "%s: p99_s must be >= 0" what
+        | _ -> err "%s: not an object" what)
+      ws;
+    if Float.abs (!run_end -. !run_start -. duration_s) > eps then
+      err "windows: cover %g s but duration_s is %g" (!run_end -. !run_start) duration_s
+  | _ -> err "windows: missing array");
+  let recovery_events = ref 0 and nevents = ref 0 in
+  (match Json.member "events" json with
+  | Some (Json.Arr es) ->
+    nevents := List.length es;
+    let prev_t = ref neg_infinity in
+    List.iteri
+      (fun i e ->
+        let what = Printf.sprintf "event %d" i in
+        match e with
+        | Json.Obj _ ->
+          let t = require_num ~what "t" e in
+          if t < !prev_t then err "%s: times must be ascending (fire order)" what;
+          prev_t := t;
+          if t < !run_start -. eps || t > !run_end +. eps then
+            err "%s: t %g outside the run [%g, %g]" what t !run_start !run_end;
+          if str "kind" e = None then err "%s: missing string \"kind\"" what;
+          if str "detail" e = None then err "%s: missing string \"detail\"" what;
+          (match Json.member "recovery" e with
+          | Some (Json.Bool r) -> if r then incr recovery_events
+          | _ -> err "%s: missing boolean \"recovery\"" what)
+        | _ -> err "%s: not an object" what)
+      es
+  | _ -> err "events: missing array");
+  let nrecoveries = ref 0 and nreconverged = ref 0 in
+  (match Json.member "recoveries" json with
+  | Some (Json.Arr rs) ->
+    nrecoveries := List.length rs;
+    if List.length rs <> !recovery_events then
+      err "recoveries: %d entries but %d recovery-flagged events" (List.length rs)
+        !recovery_events;
+    List.iteri
+      (fun i r ->
+        let what = Printf.sprintf "recovery %d" i in
+        match r with
+        | Json.Obj _ -> (
+          let t = require_num ~what "t" r in
+          if str "kind" r = None then err "%s: missing string \"kind\"" what;
+          match Json.member "reconverged_s" r with
+          | Some Json.Null -> ()
+          | Some (Json.Num at) ->
+            incr nreconverged;
+            if at < t then err "%s: reconverged_s %g precedes the recovery at %g" what at t;
+            if at > !run_end +. eps then err "%s: reconverged_s %g outside the run" what at
+          | _ -> err "%s: missing \"reconverged_s\" (number or null)" what)
+        | _ -> err "%s: not an object" what)
+      rs
+  | _ -> err "recoveries: missing array");
+  (match Json.member "totals" json with
+  | Some (Json.Obj _ as totals) ->
+    let what = "totals" in
+    let injected = require_count ~what "injected" totals in
+    let resolved = require_count ~what "resolved" totals in
+    let dropped = require_count ~what "dropped" totals in
+    let unresolved = require_count ~what "unresolved" totals in
+    ignore (require_count ~what "replicas_created" totals : float);
+    ignore (require_count ~what "net_lost" totals : float);
+    ignore (require_count ~what "net_blocked" totals : float);
+    if injected <> resolved +. dropped +. unresolved then
+      err "totals: injected %g <> resolved %g + dropped %g + unresolved %g" injected resolved
+        dropped unresolved;
+    if injected <> !sum_issued then
+      err "totals: injected %g differs from the window sum %g" injected !sum_issued;
+    if resolved <> !sum_resolved then
+      err "totals: resolved %g differs from the window sum %g" resolved !sum_resolved;
+    if dropped <> !sum_dropped then
+      err "totals: dropped %g differs from the window sum %g" dropped !sum_dropped
+  | _ -> err "totals: missing object");
+  match List.rev !errors with
+  | [] ->
+    let nwindows =
+      match Json.member "windows" json with Some (Json.Arr ws) -> List.length ws | _ -> 0
+    in
+    Ok
+      {
+        windows = nwindows;
+        events = !nevents;
+        recoveries = !nrecoveries;
+        reconverged = !nreconverged;
+      }
+  | errs -> Error errs
+
+let validate source =
+  match Json.parse source with
+  | exception Json.Parse_error { pos; msg } ->
+    Error [ Printf.sprintf "JSON parse error at offset %d: %s" pos msg ]
+  | json -> validate_json json

@@ -1,0 +1,39 @@
+(* CLI for the resilience-report checker.
+
+   Usage: report_check_main FILE...
+
+   Validates each file against the terradir-resilience-report schema (see
+   report_check.ml) and prints a one-line summary per valid file.
+
+   Exit status: 0 every file valid, 1 findings, 2 usage error. *)
+
+module Check = Terradir_report_check.Report_check
+
+let max_errors_shown = 25
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: report_check_main FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      if not (Sys.file_exists file) then begin
+        Printf.eprintf "report_check: no such file %s\n" file;
+        exit 2
+      end;
+      let source = In_channel.with_open_text file In_channel.input_all in
+      match Check.validate source with
+      | Ok { Check.windows; events; recoveries; reconverged } ->
+        Printf.printf "%s: OK — %d windows, %d events, %d/%d recoveries reconverged\n" file
+          windows events reconverged recoveries
+      | Error errs ->
+        failed := true;
+        let shown = List.filteri (fun i _ -> i < max_errors_shown) errs in
+        List.iter (fun e -> Printf.printf "%s: %s\n" file e) shown;
+        let hidden = List.length errs - List.length shown in
+        if hidden > 0 then Printf.printf "%s: ... and %d more\n" file hidden)
+    files;
+  if !failed then exit 1
