@@ -52,7 +52,13 @@ let durations =
     ("hetero", 110.0);
   ]
 
-type figure_report = { id : string; wall_s : float; events : int }
+type figure_report = {
+  id : string;
+  wall_s : float;
+  events : int;
+  minor_words : int;  (** minor-heap words allocated across the figure's cells *)
+  promoted_words : int;
+}
 
 (* One representative full-system run whose latency/hop distributions go
    into the report (schema v2 "histograms"): fig3's uniform stream,
@@ -104,9 +110,15 @@ let write_report ~jobs ~total_wall ~micro ~figures ~histograms =
            let events_per_sec =
              if f.wall_s > 0.0 then float_of_int f.events /. f.wall_s else 0.0
            in
+           let per_event w =
+             if f.events > 0 then float_of_int w /. float_of_int f.events else 0.0
+           in
            Printf.sprintf
-             "    { \"id\": %s, \"wall_s\": %s, \"events_executed\": %d, \"events_per_sec\": %s }"
-             (json_string f.id) (json_float f.wall_s) f.events (json_float events_per_sec))
+             "    { \"id\": %s, \"wall_s\": %s, \"events_executed\": %d, \"events_per_sec\": \
+              %s, \"minor_words_per_event\": %s, \"promoted_words_per_event\": %s }"
+             (json_string f.id) (json_float f.wall_s) f.events (json_float events_per_sec)
+             (json_float (per_event f.minor_words))
+             (json_float (per_event f.promoted_words)))
     |> String.concat ",\n"
   in
   let histograms_json =
@@ -155,13 +167,23 @@ let () =
         let id = entry.E.Registry.id in
         let duration = List.assoc_opt id durations in
         let events_before = E.Runner.events_executed () in
+        let minor_before = E.Runner.minor_words_allocated () in
+        let promoted_before = E.Runner.promoted_words_allocated () in
         let start = Unix.gettimeofday () in
         Printf.printf "\n===== %s =====\n%!" id;
         entry.E.Registry.run ~scale ?duration ~seed ();
         let wall_s = Unix.gettimeofday () -. start in
         let events = E.Runner.events_executed () - events_before in
-        Printf.printf "[%s completed in %.1fs wall, %d engine events]\n%!" id wall_s events;
-        { id; wall_s; events })
+        (* Figures run sequentially, so the counter deltas attribute
+           cleanly even though each figure fans its cells out in
+           parallel (workers fold their regions in before the figure
+           returns). *)
+        let minor_words = E.Runner.minor_words_allocated () - minor_before in
+        let promoted_words = E.Runner.promoted_words_allocated () - promoted_before in
+        Printf.printf "[%s completed in %.1fs wall, %d engine events, %.1f minor words/event]\n%!"
+          id wall_s events
+          (if events > 0 then float_of_int minor_words /. float_of_int events else 0.0);
+        { id; wall_s; events; minor_words; promoted_words })
       E.Registry.all
   in
   let total_wall = Unix.gettimeofday () -. t0 in

@@ -73,3 +73,8 @@ let of_list ?bits_per_element ?hashes elements =
   let t = create ?bits_per_element ?hashes ~expected:(max 1 (List.length elements)) () in
   List.iter (add t) elements;
   t
+
+let of_iter ?bits_per_element ?hashes ~expected iter =
+  let t = create ?bits_per_element ?hashes ~expected:(max 1 expected) () in
+  iter (add t);
+  t

@@ -55,3 +55,9 @@ val num_hashes : t -> int
 val of_list : ?bits_per_element:int -> ?hashes:int -> int list -> t
 (** Filter sized for and containing the given elements (empty list gets a
     minimal 64-bit filter). *)
+
+val of_iter : ?bits_per_element:int -> ?hashes:int -> expected:int -> ((int -> unit) -> unit) -> t
+(** [of_iter ~expected iter]: like {!of_list} over the elements [iter]
+    produces, without materializing a list.  [expected] sizes the filter
+    exactly as [of_list] would for a list of that length (clamped to ≥ 1);
+    bit-set contents are iteration-order independent. *)

@@ -39,6 +39,20 @@ type result = {
   replicas_created : int;
 }
 
+(** One measured slice of the run — warmup (cold caches, stores still
+    growing) versus steady state (the hot path the zero-allocation work
+    gates).  GC words are process-level measurements, not simulation
+    outputs: they stay out of {!rows} and the golden CSV. *)
+type phase_gc = {
+  pg_phase : string;  (** ["warmup"] or ["steady_state"] *)
+  pg_events : int;  (** engine events executed in the slice *)
+  pg_minor_words : float;
+  pg_promoted_words : float;
+  pg_major_words : float;
+  pg_minor_collections : int;
+  pg_major_collections : int;
+}
+
 val reference_servers : int
 (** 100 000 — the scale-1 deployment size. *)
 
@@ -64,6 +78,23 @@ val run :
     [domains] is byte-identical for any domain count.
     @raise Invalid_argument on scale outside (0,1], servers < 8,
     queries < 1, or domains < 1. *)
+
+val run_instrumented :
+  ?servers:int ->
+  ?queries:int ->
+  ?domains:int ->
+  ?scale:float ->
+  ?seed:int ->
+  unit ->
+  result * phase_gc list
+(** {!run} plus the per-phase GC accounting: the same trajectory is driven
+    in two [run_until] slices split at {e warmup_fraction} (¼) of the
+    stream duration, with a [Gc.quick_stat] delta around each.  The result
+    is byte-identical to {!run}'s (the engine is time-ordered — an
+    intermediate stop replays the same events); the phase list is always
+    [[warmup; steady_state]].  Word deltas are exact for the driving
+    domain; engine lanes of a K ≥ 2 run fold in only as they are joined
+    (the K = 1 reference run CI gates on is exact). *)
 
 val rows : result -> (string * string) list
 (** Stable (metric, value) rows — the CSV export and the report feed. *)

@@ -102,16 +102,45 @@ let record_events cluster =
     (Atomic.fetch_and_add events
        (Terradir_sim.Engine.events_executed cluster.Cluster.engine))
 
+(* GC-pressure accounting, the memory twin of the event counter: words
+   allocated while instrumented regions ran, summed atomically.  The
+   before/after [Gc.quick_stat] delta MUST be taken from inside the
+   executing domain — in OCaml 5 the allocation counters cover the
+   calling domain (plus already-terminated ones), so a coordinator
+   reading around a [Pool.map] fan-out would see none of its workers'
+   allocation.  Engine lanes spawned and joined within a region fold
+   their counters into that region's delta at join time. *)
+let minor_words = Atomic.make 0
+
+let promoted_words = Atomic.make 0
+
+let minor_words_allocated () = Atomic.get minor_words
+
+let promoted_words_allocated () = Atomic.get promoted_words
+
+let add_alloc ~minor ~promoted =
+  ignore (Atomic.fetch_and_add minor_words minor);
+  ignore (Atomic.fetch_and_add promoted_words promoted)
+
+let record_alloc f =
+  let before = Gc.quick_stat () in
+  Fun.protect f ~finally:(fun () ->
+      let after = Gc.quick_stat () in
+      add_alloc
+        ~minor:(int_of_float (after.Gc.minor_words -. before.Gc.minor_words))
+        ~promoted:(int_of_float (after.Gc.promoted_words -. before.Gc.promoted_words)))
+
 (* ------------------------------------------------------------------ *)
 (* Per-cell driver                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let run_phases ?(workload_seed = 1009) setup phases =
-  let setup = { setup with Common.config = with_engine_config setup.Common.config } in
-  let cluster = Common.cluster ?obs:(fresh_obs ()) setup in
-  Scenario.run cluster ~phases ~seed:workload_seed;
-  record_events cluster;
-  cluster
+  record_alloc (fun () ->
+      let setup = { setup with Common.config = with_engine_config setup.Common.config } in
+      let cluster = Common.cluster ?obs:(fresh_obs ()) setup in
+      Scenario.run cluster ~phases ~seed:workload_seed;
+      record_events cluster;
+      cluster)
 
 let named_streams setup ~paper_rate ~duration =
   ignore (Config.validate setup.Common.config);

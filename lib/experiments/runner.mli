@@ -74,6 +74,28 @@ val record_events : Terradir.Cluster.t -> unit
     drivers that run {!Terradir_workload.Scenario.run} themselves instead
     of going through {!run_phases}. *)
 
+val minor_words_allocated : unit -> int
+(** Minor-heap words allocated inside every instrumented region so far —
+    the GC-pressure twin of {!events_executed}; the bench harness divides
+    deltas of the two to report words per event.  Regions are
+    {!run_phases} calls plus whatever drivers wrap in {!record_alloc}. *)
+
+val promoted_words_allocated : unit -> int
+(** Words promoted from the minor to the major heap inside instrumented
+    regions (same accounting as {!minor_words_allocated}). *)
+
+val record_alloc : (unit -> 'a) -> 'a
+(** Run a thunk and fold its [Gc.quick_stat] allocation delta into the
+    word counters.  Must be called from the domain doing the allocating
+    (OCaml 5 allocation counters are per-domain): {!run_phases} applies it
+    inside each worker, and engine lanes joined within the region fold in
+    at join.  Exception-safe — the delta is recorded either way. *)
+
+val add_alloc : minor:int -> promoted:int -> unit
+(** Fold externally measured word deltas into the counters — for drivers
+    (the capacity figure) that take their own phase-resolved
+    [Gc.quick_stat] deltas. *)
+
 val run_phases :
   ?workload_seed:int ->
   Common.setup ->

@@ -316,15 +316,13 @@ let par_run ?until t =
         t.window_on <- false;
         Array.iter
           (fun lane ->
-            Shard.drain_outboxes lane ~f:(fun ~dest items ->
+            Shard.drain_outboxes lane ~f:(fun ~dest ~time ~tie ~owner f ->
                 let dst =
                   if dest < t.domains then t.lanes.(dest)
                   else if dest = t.domains then t.driver
                   else t.sync
                 in
-                List.iter
-                  (fun (time, tie, owner, f) -> Shard.enqueue dst ~key:time ~tie ~tag:owner f)
-                  items))
+                Shard.enqueue dst ~key:time ~tie ~tag:owner f))
           t.lanes;
         t.vclock <- bt;
         fire_par t

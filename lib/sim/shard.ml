@@ -12,6 +12,29 @@ open Terradir_util
 
 type queue = Heap of (unit -> unit) Pqueue.t | Calendar of (unit -> unit) Calqueue.t
 
+(* A per-destination deposit buffer, struct-of-arrays so a window's
+   cross-lane traffic costs zero allocation once the arrays have grown to
+   the high-water mark.  Capacity persists across windows; only [len]
+   resets at the barrier. *)
+type outbox = {
+  mutable ob_time : floatarray;
+  mutable ob_tie : int array;
+  mutable ob_owner : int array;
+  mutable ob_fn : (unit -> unit) array;
+  mutable ob_len : int;
+}
+
+let nop () = ()
+
+let outbox_create () =
+  {
+    ob_time = Float.Array.create 0;
+    ob_tie = [||];
+    ob_owner = [||];
+    ob_fn = [||];
+    ob_len = 0;
+  }
+
 type t = {
   idx : int; (* lane index: 0..K-1 shards; K = the coordinator lane *)
   queue : queue;
@@ -20,11 +43,10 @@ type t = {
   mutable tie : int; (* tie-break of the running event (obs stamping) *)
   mutable sub : int; (* intra-event emission counter (obs stamping) *)
   mutable executed : int;
-  outboxes : (float * int * int * (unit -> unit)) list array;
-      (* per-destination-lane deposits made while a window is open:
-         (time, tie, owner, thunk), merged by the coordinator at the
-         barrier.  Insertion order is irrelevant — ties are globally
-         unique. *)
+  outboxes : outbox array;
+      (* per-destination-lane deposits made while a window is open, merged
+         by the coordinator at the barrier.  Insertion order is irrelevant
+         — ties are globally unique. *)
 }
 
 let create ~scheduler ~idx ~ndest =
@@ -41,7 +63,7 @@ let create ~scheduler ~idx ~ndest =
     tie = 0;
     sub = 0;
     executed = 0;
-    outboxes = Array.make ndest [];
+    outboxes = Array.init ndest (fun _ -> outbox_create ());
   }
 
 let idx t = t.idx
@@ -61,17 +83,44 @@ let next_sub t =
 
 let executed t = t.executed
 
+let outbox_grow b =
+  let cap = max 16 (2 * Array.length b.ob_tie) in
+  let time = Float.Array.create cap in
+  Float.Array.blit b.ob_time 0 time 0 b.ob_len;
+  b.ob_time <- time;
+  let grow_int a =
+    let a' = Array.make cap 0 in
+    Array.blit a 0 a' 0 b.ob_len;
+    a'
+  in
+  b.ob_tie <- grow_int b.ob_tie;
+  b.ob_owner <- grow_int b.ob_owner;
+  let fn = Array.make cap nop in
+  Array.blit b.ob_fn 0 fn 0 b.ob_len;
+  b.ob_fn <- fn
+
 let outbox_push t ~dest ~time ~tie ~owner f =
-  t.outboxes.(dest) <- (time, tie, owner, f) :: t.outboxes.(dest)
+  let b = t.outboxes.(dest) in
+  if b.ob_len >= Array.length b.ob_tie then outbox_grow b;
+  let i = b.ob_len in
+  Float.Array.unsafe_set b.ob_time i time;
+  b.ob_tie.(i) <- tie;
+  b.ob_owner.(i) <- owner;
+  b.ob_fn.(i) <- f;
+  b.ob_len <- i + 1
 
 let drain_outboxes t ~f =
   let boxes = t.outboxes in
   for dest = 0 to Array.length boxes - 1 do
-    match boxes.(dest) with
-    | [] -> ()
-    | items ->
-      boxes.(dest) <- [];
-      f ~dest items
+    let b = boxes.(dest) in
+    if b.ob_len > 0 then begin
+      for i = 0 to b.ob_len - 1 do
+        f ~dest ~time:(Float.Array.unsafe_get b.ob_time i) ~tie:b.ob_tie.(i)
+          ~owner:b.ob_owner.(i) b.ob_fn.(i);
+        b.ob_fn.(i) <- nop (* drop the thunk: retained closures capture messages *)
+      done;
+      b.ob_len <- 0
+    end
   done
 
 let length t = match t.queue with Heap q -> Pqueue.length q | Calendar q -> Calqueue.length q

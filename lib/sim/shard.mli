@@ -65,11 +65,14 @@ val outbox_push : t -> dest:int -> time:float -> tie:int -> owner:int -> (unit -
     barrier.  Only the domain driving this lane may call it, and only
     while a window is open. *)
 
-val drain_outboxes : t -> f:(dest:int -> (float * int * int * (unit -> unit)) list -> unit) -> unit
-(** Hand every non-empty outbox — [(time, tie, owner, thunk)] deposits,
-    most recent first — to [f] and clear it.  Coordinator-only, at the
-    barrier; deposit order is irrelevant because ties are globally
-    unique. *)
+val drain_outboxes :
+  t ->
+  f:(dest:int -> time:float -> tie:int -> owner:int -> (unit -> unit) -> unit) ->
+  unit
+(** Hand every parked deposit to [f], one call per item, and clear the
+    boxes (thunk slots are scrubbed so the buffers retain nothing).
+    Coordinator-only, at the barrier; deposit order is irrelevant because
+    ties are globally unique. *)
 
 val pop_run : t -> unit
 (** Execute the minimum event: sets clock/ctx/tie, runs the thunk, and

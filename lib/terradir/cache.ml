@@ -8,13 +8,23 @@ type t = {
   rng : Splitmix.t;
   obs : Obs.t;
   owner : int;  (* server id the sink attributes hit/miss events to *)
+  scratch : Node_map.scratch;  (* single-owner: the owning server's lane *)
   mutable hits : int;
   mutable misses : int;
 }
 
 let create ?(obs = Obs.null) ?(owner = -1) ~slots ~r_map ~rng () =
   if r_map < 1 then invalid_arg "Cache.create: r_map must be >= 1";
-  { lru = Lru.create ~capacity:slots; r_map; rng; obs; owner; hits = 0; misses = 0 }
+  {
+    lru = Lru.create ~capacity:slots;
+    r_map;
+    rng;
+    obs;
+    owner;
+    scratch = Node_map.scratch ();
+    hits = 0;
+    misses = 0;
+  }
 
 let slots t = Lru.capacity t.lru
 
@@ -25,8 +35,8 @@ let insert t ~node map =
   else
     let merged =
       match Lru.peek t.lru node with
-      | None -> Node_map.of_entries ~max:t.r_map (Node_map.entries map)
-      | Some existing -> Node_map.merge ~max:t.r_map t.rng existing map
+      | None -> Node_map.truncate ~max:t.r_map map
+      | Some existing -> Node_map.merge ~scratch:t.scratch ~max:t.r_map t.rng existing map
     in
     Lru.put t.lru node merged
 

@@ -60,6 +60,11 @@ type t = {
   meta_version : int array;
   mutable last_src : server_id;
   epochs : int array;
+  msg_pool : message Freelist.t array;
+  query_pool : query Freelist.t array;
+  gt_scratch : Node_map.scratch;
+      (* oracle-only workspace; oracle routing pins the engine to one
+         domain, so a single scratch is race-free *)
   audit : Invariant.t option;
 }
 
@@ -71,6 +76,71 @@ let now t = Engine.now t.engine
 let met t = t.lane_metrics.(Engine.lane_index t.engine)
 
 let fold_stats arr = Array.fold_left Stats.merge (Stats.create ()) arr
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path object pools                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Message and query records are recycled through per-lane free lists, so
+   steady-state traffic allocates neither.  Ownership follows the record:
+   whichever lane retires one frees it into its OWN lane's pool (records
+   migrate between pools as traffic crosses lanes), so pools are
+   single-owner within a window exactly like [lane_metrics] and need no
+   atomics.  Each record reaches exactly one terminal point — enumerated
+   at the [free_msg]/[free_query] call sites — and the scrubs below drop
+   every reference (maps, blooms, payloads) so pooled records retain
+   nothing across reuse.  Pooling is invisible to the trajectory: records
+   are plain containers, and no RNG draw or event order depends on them. *)
+
+let lane_pool t pools = pools.(Engine.lane_index t.engine)
+
+let alloc_msg t ~from ~load ~digest_version ~digest payload =
+  let p = lane_pool t t.msg_pool in
+  if Freelist.is_empty p then
+    {
+      msg_from = from;
+      msg_load = load;
+      msg_digest_version = digest_version;
+      msg_digest = digest;
+      msg_payload = payload;
+    }
+  else begin
+    let m = Freelist.pop p in
+    m.msg_from <- from;
+    m.msg_load <- load;
+    m.msg_digest_version <- digest_version;
+    m.msg_digest <- digest;
+    m.msg_payload <- payload;
+    m
+  end
+
+let free_msg t m =
+  m.msg_digest <- None;
+  m.msg_payload <- null_payload;
+  Freelist.put (lane_pool t t.msg_pool) m
+
+let alloc_query t ~qid ~src ~dst ~attempt ~born =
+  let p = lane_pool t t.query_pool in
+  let q = if Freelist.is_empty p then fresh_query () else Freelist.pop p in
+  q.qid <- qid;
+  q.src_server <- src;
+  q.dst <- dst;
+  q.attempt <- attempt;
+  q.born <- born;
+  q.hops <- 0;
+  q.target <- dst;
+  path_reset q;
+  q.shortcut_hops <- 0;
+  q.best_dist <- max_int;
+  q.stale_forwards <- 0;
+  q.result_map <- Node_map.empty;
+  q.result_meta <- 0;
+  q
+
+let free_query t q =
+  path_scrub q;
+  q.result_map <- Node_map.empty;
+  Freelist.put (lane_pool t t.query_pool) q
 
 let metrics t =
   Metrics.merged
@@ -162,15 +232,6 @@ let rec send t ~from ~to_ payload =
     end
     else None
   in
-  let msg =
-    {
-      msg_from = from;
-      msg_load = Load_meter.load s.Server.load (now t);
-      msg_digest_version = version;
-      msg_digest = digest;
-      msg_payload = payload;
-    }
-  in
   (* The paper's "load balancing messages": probes, replies, transfers —
      not query replies, which are part of the lookup itself. *)
   (match payload with
@@ -179,7 +240,10 @@ let rec send t ~from ~to_ payload =
     m.Metrics.control_messages <- m.Metrics.control_messages + 1
   | Query _ | Query_reply _ | Data_request _ | Data_reply _ -> ());
   (* The network decides: silent loss and partitions vanish the message —
-     the sender learns nothing, so recovery is the issuer's timer's job. *)
+     the sender learns nothing, so recovery is the issuer's timer's job.
+     The message record is only built for deliveries the network makes
+     ([Load_meter.load] is an idempotent window roll, so reading it after
+     the transmit draw — or not at all on a loss — changes nothing). *)
   match Net.transmit t.net ~src:from ~dst:to_ with
   | Net.Delivered delay ->
     (match payload with
@@ -189,13 +253,26 @@ let rec send t ~from ~to_ payload =
         (Event.Net_transit { qid = q.qid; attempt = q.attempt; dst_server = to_; delay })
     | Query _ | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_request _
     | Data_reply _ -> ());
+    let msg =
+      alloc_msg t ~from
+        ~load:(Load_meter.load s.Server.load (now t))
+        ~digest_version:version ~digest payload
+    in
     Engine.schedule ~owner:to_ t.engine ~delay (fun () -> deliver t ~to_ msg)
   | Net.Lost ->
     let m = met t in
-    m.Metrics.net_lost <- m.Metrics.net_lost + 1
+    m.Metrics.net_lost <- m.Metrics.net_lost + 1;
+    (* A silently-lost query attempt is this record's terminal point: the
+       issuer's timer retransmits with a fresh record. *)
+    (match payload with
+    | Query q | Query_reply q -> free_query t q
+    | Load_probe _ | Load_reply _ | Replicate _ | Data_request _ | Data_reply _ -> ())
   | Net.Blocked ->
     let m = met t in
-    m.Metrics.net_blocked <- m.Metrics.net_blocked + 1
+    m.Metrics.net_blocked <- m.Metrics.net_blocked + 1;
+    (match payload with
+    | Query q | Query_reply q -> free_query t q
+    | Load_probe _ | Load_reply _ | Replicate _ | Data_request _ | Data_reply _ -> ())
 
 and deliver t ~to_ msg =
   let s = t.servers.(to_) in
@@ -210,7 +287,10 @@ and deliver t ~to_ msg =
     let queue_full () = Queue.length s.Server.queue >= t.config.Config.queue_capacity in
     (match msg.msg_payload with
     | Query q ->
-      if queue_full () then finish_dropped t q Queue_full
+      if queue_full () then begin
+        finish_dropped t q Queue_full;
+        free_msg t msg
+      end
       else begin
         if Obs.spans_on t.obs then
           (* lint: obs-in-hot-path span skeleton queue entry; spans level *)
@@ -219,7 +299,10 @@ and deliver t ~to_ msg =
         kick t to_
       end
     | Data_request { fetch_id; _ } ->
-      if queue_full () then fetch_retry t fetch_id ~failed:to_
+      if queue_full () then begin
+        fetch_retry t fetch_id ~failed:to_;
+        free_msg t msg
+      end
       else begin
         Queue.add msg s.Server.queue;
         kick t to_
@@ -243,22 +326,35 @@ and bounce t ~dead msg =
     let sender = msg.msg_from in
     Engine.schedule ~owner:sender t.engine ~delay:t.config.Config.network_delay (fun () ->
         let s = t.servers.(sender) in
-        if not s.Server.alive then finish_dropped t q Server_dead
+        if not s.Server.alive then begin
+          finish_dropped t q Server_dead;
+          free_msg t msg
+        end
         else begin
           Server.forget_server s q.target dead;
           Server.forget_peer s dead;
           reseed_delegation t s q.target;
           q.hops <- q.hops + 2;
-          if q.hops > t.hop_budget then finish_dropped t q Hop_budget
-          else
-            deliver t ~to_:sender
-              { msg with msg_from = sender; msg_digest = None; msg_payload = Query q }
+          if q.hops > t.hop_budget then begin
+            finish_dropped t q Hop_budget;
+            free_msg t msg
+          end
+          else begin
+            (* Reuse the bounced record in place: the sender re-queues it
+               without the digest (it already sent its current version). *)
+            msg.msg_from <- sender;
+            msg.msg_digest <- None;
+            deliver t ~to_:sender msg
+          end
         end)
   | Query_reply q ->
     (* The originator died; its lookup dies with it. *)
-    finish_dropped t q Server_dead
-  | Data_request { fetch_id; _ } -> fetch_retry t fetch_id ~failed:dead
-  | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ -> ()
+    finish_dropped t q Server_dead;
+    free_msg t msg
+  | Data_request { fetch_id; _ } ->
+    fetch_retry t fetch_id ~failed:dead;
+    free_msg t msg
+  | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ -> free_msg t msg
 
 (* ------------------------------------------------------------------ *)
 (* Service loop                                                        *)
@@ -307,6 +403,9 @@ and kick t sid =
               Obs.record t.obs ~server:sid (Event.Service_end { qid = q.qid; attempt = q.attempt })
             | _ -> ());
             process t sid msg;
+            (* [process] consumed the message; any query inside reached its
+               own terminal point (completion, drop, or forward). *)
+            free_msg t msg;
             kick t sid;
             (* [obs_busy] is only ever set while the counters level is on,
                so the drain edge below cannot fire with a disabled sink. *)
@@ -315,7 +414,14 @@ and kick t sid =
               (* lint: obs-in-hot-path busy->idle edge only; counters level *)
               Obs.record t.obs ~server:sid Event.Server_idle
             end
-          end)
+          end
+          else
+            (* The server died (epoch bumped) with this message in service:
+               it was already popped from the queue, so this closure is the
+               sole owner.  A query inside is left to the GC — its issuer's
+               timer recovers the request; recycling it here would risk a
+               double-free if a revive raced the service completion. *)
+            free_msg t msg)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -354,14 +460,14 @@ and process t sid msg =
    base system neither carries nor absorbs path state.  Under the
    [Endpoints_only] strawman policy, intermediate servers absorb nothing —
    only the source caches, from the reply (see [complete_query]). *)
-and absorb_path ?(at_endpoint = false) t s path =
+and absorb_path ?(at_endpoint = false) t s q =
   let cfg = t.config in
   if
     cfg.Config.features.Config.caching
     && (cfg.Config.cache_policy = Config.Path_propagation || at_endpoint)
   then begin
     let time = now t in
-    List.iter (fun (node, map) -> Server.merge_into_known_map s node map ~now:time) path
+    path_iter q ~f:(fun node map -> Server.merge_into_known_map s node map ~now:time)
   end
 
 and append_path_entry t s q =
@@ -371,19 +477,15 @@ and append_path_entry t s q =
   then
     match Server.find_hosted s q.target with
     | Some h ->
-      q.path <- (q.target, h.Server.h_map) :: q.path;
-      q.path_len <- q.path_len + 1;
+      path_append q q.target h.Server.h_map;
       (* Bound piggyback size, keeping the newest entries. *)
-      if q.path_len > path_cap then begin
-        q.path <- List.filteri (fun i _ -> i < path_cap) q.path;
-        q.path_len <- path_cap
-      end
+      path_truncate q
     | None -> ()
 
 and process_query ?from t s q =
   let time = now t in
   s.Server.queries_processed <- s.Server.queries_processed + 1;
-  absorb_path t s q.path;
+  absorb_path t s q;
   if q.hops > 0 && not (Server.hosts s q.target) then begin
     q.stale_forwards <- q.stale_forwards + 1;
     let m = met t in
@@ -421,8 +523,7 @@ and process_query ?from t s q =
     Server.touch_node s q.dst ~now:time;
     (match Server.find_hosted s q.dst with
     | Some h ->
-      q.path <- (q.dst, h.Server.h_map) :: q.path;
-      q.path_len <- q.path_len + 1;
+      path_append q q.dst h.Server.h_map;
       (* the lookup's result: the destination's map and meta-data *)
       q.result_map <- h.Server.h_map;
       q.result_meta <- h.Server.h_meta_version
@@ -494,7 +595,7 @@ and process_query ?from t s q =
    through [finalize_at] — the re-check happens there. *)
 and finish_dropped t q reason =
   finalize_at t q.src_server (fun () ->
-      match Hashtbl.find_opt (q_tbl t q.qid) q.qid with
+      (match Hashtbl.find_opt (q_tbl t q.qid) q.qid with
       | None -> ()
       | Some ctx when q.attempt < ctx.qc_attempt -> ()
       | Some ctx ->
@@ -504,7 +605,10 @@ and finish_dropped t q reason =
           (* lint: obs-in-hot-path terminal drop closes the span; spans level *)
           Obs.record t.obs ~server:ctx.qc_src
             (Event.Query_dropped { qid = q.qid; reason = drop_label reason });
-        Option.iter (fun k -> k (Dropped reason)) ctx.qc_on_complete)
+        Option.iter (fun k -> k (Dropped reason)) ctx.qc_on_complete);
+      (* Whatever the branch, this attempt's record is retired here — the
+         closure took sole ownership when the drop was detected. *)
+      free_query t q)
 
 (* ------------------------------------------------------------------ *)
 (* Data retrieval (§2.1 step two)                                      *)
@@ -547,7 +651,7 @@ and ground_truth_map t node =
   Array.fold_left
     (fun acc s ->
       if s.Server.alive && Server.hosts s node then
-        Node_map.add ~max:max_int acc
+        Node_map.add ~scratch:t.gt_scratch ~max:max_int acc
           {
             Node_map.server = s.Server.id;
             is_owner = t.owner_of.(node) = s.Server.id;
@@ -564,13 +668,14 @@ and complete_query t s q =
     (* The request was already finalized (another attempt won the race, or
        the last timer expired): a duplicate result, discarded. *)
     let m = met t in
-    m.Metrics.late_replies <- m.Metrics.late_replies + 1
+    m.Metrics.late_replies <- m.Metrics.late_replies + 1;
+    free_query t q
   | Some ctx ->
     (* First resolution wins, whichever attempt carried it. *)
     Hashtbl.remove (q_tbl t q.qid) q.qid;
     (* The source caches its lookup result even under endpoint-only caching;
        with path propagation it absorbs the whole route. *)
-    absorb_path ~at_endpoint:true t s q.path;
+    absorb_path ~at_endpoint:true t s q;
     let latency = now t -. q.born in
     Metrics.resolve (met t) ~latency ~hops:q.hops ~now:(now t);
     Stats.add t.lat_stats.(ctx.qc_src) latency;
@@ -588,7 +693,10 @@ and complete_query t s q =
     Option.iter
       (fun k ->
         k (Resolved { latency; hops = q.hops; map = q.result_map; meta_version = q.result_meta }))
-      ctx.qc_on_complete
+      ctx.qc_on_complete;
+    (* The winning attempt's record retires after the callback captured its
+       result values (the map is an immutable Node_map, safe to share). *)
+    free_query t q
 
 (* ------------------------------------------------------------------ *)
 (* Replication protocol driver (§3.3)                                  *)
@@ -816,6 +924,9 @@ let create ?(monitor = true) ?(obs = Obs.null) ?shard_of ~config ~tree () =
       meta_version = Array.make (Tree.size tree) 0;
       last_src = 0;
       epochs = Array.make config.Config.num_servers 0;
+      msg_pool = Array.init lanes (fun _ -> Freelist.create ());
+      query_pool = Array.init lanes (fun _ -> Freelist.create ());
+      gt_scratch = Node_map.scratch ();
       audit = (if Invariant.enabled config then Some (Invariant.create ()) else None);
     }
   in
@@ -914,32 +1025,11 @@ let create ?(monitor = true) ?(obs = Obs.null) ?shard_of ~config ~tree () =
    [born] stays the original injection time so latency is end-to-end. *)
 let start_query_attempt t qid ctx =
   let q =
-    {
-      qid;
-      src_server = ctx.qc_src;
-      dst = ctx.qc_dst;
-      attempt = ctx.qc_attempt;
-      born = ctx.qc_born;
-      hops = 0;
-      target = ctx.qc_dst;
-      path = [];
-      path_len = 0;
-      shortcut_hops = 0;
-      best_dist = max_int;
-      stale_forwards = 0;
-      result_map = Node_map.empty;
-      result_meta = 0;
-    }
+    alloc_query t ~qid ~src:ctx.qc_src ~dst:ctx.qc_dst ~attempt:ctx.qc_attempt ~born:ctx.qc_born
   in
   (* The query originates at [src]: straight into its queue, no network. *)
   deliver t ~to_:ctx.qc_src
-    {
-      msg_from = ctx.qc_src;
-      msg_load = 0.0;
-      msg_digest_version = 0;
-      msg_digest = None;
-      msg_payload = Query q;
-    }
+    (alloc_msg t ~from:ctx.qc_src ~load:0.0 ~digest_version:0 ~digest:None (Query q))
 
 (* Arm the current attempt's timer.  Timers only catch silent loss:
    explicit terminal drops finalize the request immediately, so with an
@@ -1146,15 +1236,26 @@ let kill t sid =
       Obs.record t.obs ~server:sid Event.Server_idle
     end;
     (* Queued work dies with the server; fetches fail over to other
-       holders. *)
+       holders.  Every swept message (and any reply-borne query record —
+       the dead server was its issuer, so nothing else will ever touch it)
+       is recycled here. *)
     Queue.iter
       (fun msg ->
-        match msg.msg_payload with
+        (match msg.msg_payload with
         | Query q -> finish_dropped t q Server_dead
         | Data_request { fetch_id; _ } -> fetch_retry t fetch_id ~failed:sid
-        | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ -> ())
+        | Query_reply _ | Load_probe _ | Load_reply _ | Replicate _ | Data_reply _ -> ());
+        free_msg t msg)
       s.Server.queue;
     Queue.clear s.Server.queue;
+    Queue.iter
+      (fun msg ->
+        (match msg.msg_payload with
+        | Query_reply q -> free_query t q
+        | Query _ | Load_probe _ | Load_reply _ | Replicate _ | Data_request _ | Data_reply _ ->
+          ());
+        free_msg t msg)
+      s.Server.ctrl_queue;
     Queue.clear s.Server.ctrl_queue;
     (* Fail-stop loses all soft state; ownership is durable. *)
     List.iter (fun node -> Server.evict_replica s node) (Server.replica_nodes s);

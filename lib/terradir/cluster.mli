@@ -109,6 +109,12 @@ type t = {
           other shard's server records *)
   mutable last_src : server_id;
   epochs : int array;  (** bumped on kill/revive; cancels stale events *)
+  msg_pool : Types.message Terradir_util.Freelist.t array;
+      (** per-lane recycled message records; a lane frees only into its own
+          pool (records migrate across pools with cross-lane traffic) *)
+  query_pool : Types.query Terradir_util.Freelist.t array;
+  gt_scratch : Node_map.scratch;
+      (** oracle-only map workspace (oracle routing pins one domain) *)
   audit : Invariant.t option;
       (** the runtime invariant auditor, when enabled ({!Invariant.enabled}
           at construction): checks run every [config.audit_every] engine

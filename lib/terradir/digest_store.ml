@@ -22,12 +22,20 @@ let local_version t = t.local_version
 
 let local t = t.local
 
-let rebuild_local t ~hosted =
-  (* Digests are consulted hundreds of times per routing step across many
-     servers, so false positives compound: use 16 bits/element (k = 10,
-     ~0.05% FP rate) rather than the Bloom default. *)
-  t.local <- Bloom.of_list ~bits_per_element:16 ~hashes:10 hosted;
+(* Digests are consulted hundreds of times per routing step across many
+   servers, so false positives compound: use 16 bits/element (k = 10,
+   ~0.05% FP rate) rather than the Bloom default.
+
+   The previous filter cannot be reset and refilled in place: [local] is
+   published by reference in piggybacked digest messages, so servers that
+   recorded it would see the mutation (and sizing must track the hosted
+   count anyway). *)
+let rebuild_local_from t ~count ~iter =
+  t.local <- Bloom.of_iter ~bits_per_element:16 ~hashes:10 ~expected:count iter;
   t.local_version <- t.local_version + 1
+
+let rebuild_local t ~hosted =
+  rebuild_local_from t ~count:(List.length hosted) ~iter:(fun add -> List.iter add hosted)
 
 let record_remote t ~server ~version bloom =
   match Lru.peek t.remotes server with

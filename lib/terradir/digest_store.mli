@@ -19,6 +19,11 @@ val local : t -> Terradir_bloom.Bloom.t
 val rebuild_local : t -> hosted:int list -> unit
 (** Recompute the local digest over the hosted node ids. *)
 
+val rebuild_local_from : t -> count:int -> iter:((int -> unit) -> unit) -> unit
+(** {!rebuild_local} without materializing the hosted list: [iter] must
+    produce exactly the hosted node ids ([count] of them — the filter is
+    sized by it).  Order-independent, so a hash-table iteration is fine. *)
+
 val record_remote : t -> server:int -> version:int -> Terradir_bloom.Bloom.t -> unit
 (** Keep the digest if its version is newer than what is stored. *)
 

@@ -2,78 +2,170 @@ open Terradir_util
 
 type entry = { server : int; is_owner : bool; stamp : float }
 
-type t = entry list
-(* Invariant: no duplicate servers, and the list is sorted by [order]
-   (owners first, then newest-first, server id as the tie-break).  Maps are
-   tiny (≤ r_map, typically 4) and merged on every query hop, so the
-   implementation favors small-list operations over hashing — and, because
-   every stored map is already sorted, construction is a single dedup +
-   ordered-insertion pass with no List.sort on the hot path. *)
+(* Flat struct-of-arrays map: row [i] packs the server id and owner flag
+   into [ns.(i) = server lsl 1 lor owner] with the stamp unboxed in a
+   [floatarray] — no per-entry record, no boxed float, no list spine.  The
+   row order is the historical one: owners first, then newest-first,
+   server id as the tie-break ([order] below is total with a unique
+   tie-break, so a deduped entry set has exactly one sorted form).  Maps
+   remain immutable values; operations build fresh row arrays, assembling
+   intermediate states in a caller-provided {!scratch} so the hot merge
+   path allocates only its result. *)
+type t = { ns : int array; stamp : floatarray }
 
-let empty = []
+let empty = { ns = [||]; stamp = Float.Array.create 0 }
 
-let entries t = t
+let size t = Array.length t.ns
 
-let servers t = List.map (fun e -> e.server) t
+let is_empty t = Array.length t.ns = 0
 
-let size = List.length
+let row_server t i = t.ns.(i) lsr 1
 
-let is_empty t = t = []
+let row_owner t i = t.ns.(i) land 1 <> 0
 
-let mem t s = List.exists (fun e -> e.server = s) t
+let row_stamp t i = Float.Array.unsafe_get t.stamp i
 
-let owner t = Option.map (fun e -> e.server) (List.find_opt (fun e -> e.is_owner) t)
+let pack ~server ~is_owner = (server lsl 1) lor (if is_owner then 1 else 0)
 
-let order a b =
-  (* Owners first; ties broken newest-first, then by server id for
-     determinism. *)
-  match (b.is_owner, a.is_owner) with
-  | true, false -> 1
-  | false, true -> -1
+let entries t =
+  List.init (size t) (fun i ->
+      { server = row_server t i; is_owner = row_owner t i; stamp = row_stamp t i })
+
+let servers t = List.init (size t) (fun i -> row_server t i)
+
+let mem t s =
+  let n = size t in
+  let rec go i = i < n && (row_server t i = s || go (i + 1)) in
+  go 0
+
+let owner t = if size t > 0 && row_owner t 0 then Some (row_server t 0) else None
+
+(* Owners first; ties broken newest-first, then by server id for
+   determinism.  Compares packed rows: negative when row a sorts first. *)
+let order_rows na sa nb sb =
+  match ((nb land 1, na land 1) : int * int) with
+  | 1, 0 -> 1
+  | 0, 1 -> -1
   | _ -> (
-    match Float.compare b.stamp a.stamp with 0 -> Int.compare a.server b.server | c -> c)
+    match Float.compare sb sa with 0 -> Int.compare (na lsr 1) (nb lsr 1) | c -> c)
 
-(* Newest stamp wins; the owner flag is sticky (a server once seen as owner
-   stays owner even if a later stale entry forgot the flag). *)
-let combine x e =
-  { server = e.server; is_owner = x.is_owner || e.is_owner; stamp = Float.max x.stamp e.stamp }
+(* ------------------------------------------------------------------ *)
+(* Scratch                                                             *)
+(* ------------------------------------------------------------------ *)
 
-(* [order] is total with a unique tie-break, so a deduped entry set has
-   exactly one sorted form: maintaining it by insertion gives the same list
-   the old sort-after-dedup pipeline produced, one element at a time. *)
-let rec insert_no_dup e = function
-  | [] -> [ e ]
-  | x :: rest as l -> if order e x <= 0 then e :: l else x :: insert_no_dup e rest
+type scratch = {
+  mutable sc_ns : int array;
+  mutable sc_stamp : floatarray;
+  mutable sc_pool : int array; (* merge: remainder rows still drawable *)
+  mutable sc_keep : bool array; (* merge: remainder rows chosen by draw *)
+}
 
-(* Fold one entry into a sorted, deduped list: combine with any existing
-   entry for the same server, then place the result at its sort position.
-   Two short scans of a ≤ r_map-sized list — no allocation beyond the
-   rebuilt spine, no comparator closures handed to List.sort. *)
-let add_entry sorted e =
-  let rec strip acc = function
-    | [] -> insert_no_dup e sorted
-    | x :: rest when x.server = e.server ->
-      insert_no_dup (combine x e) (List.rev_append acc rest)
-    | x :: rest -> strip (x :: acc) rest
+let scratch () =
+  {
+    sc_ns = Array.make 8 0;
+    sc_stamp = Float.Array.create 8;
+    sc_pool = Array.make 8 0;
+    sc_keep = Array.make 8 false;
+  }
+
+let ensure sc n =
+  if Array.length sc.sc_ns < n then begin
+    let cap = max n (2 * Array.length sc.sc_ns) in
+    let ns = Array.make cap 0 and stamp = Float.Array.create cap in
+    Array.blit sc.sc_ns 0 ns 0 (Array.length sc.sc_ns);
+    Float.Array.blit sc.sc_stamp 0 stamp 0 (Float.Array.length sc.sc_stamp);
+    sc.sc_ns <- ns;
+    sc.sc_stamp <- stamp;
+    sc.sc_pool <- Array.make cap 0;
+    sc.sc_keep <- Array.make cap false
+  end
+
+let sc_or = function Some sc -> sc | None -> scratch ()
+
+(* Fold one packed row into scratch rows [0 .. !len): combine with any
+   existing row for the same server (newest stamp wins, owner flag is
+   sticky), then place the result at its unique sort position.  Mirrors
+   the historical [add_entry] list fold, shift for shift. *)
+let insert_row sc len nrow srow =
+  let ns = sc.sc_ns and stamp = sc.sc_stamp in
+  let server = nrow lsr 1 in
+  let nrow = ref nrow and srow = ref srow in
+  (* Strip an existing row for the same server, combining into the new. *)
+  let n = !len in
+  let rec strip i =
+    if i < n then
+      if ns.(i) lsr 1 = server then begin
+        nrow := !nrow lor (ns.(i) land 1);
+        srow := Float.max (Float.Array.get stamp i) !srow;
+        for j = i to n - 2 do
+          ns.(j) <- ns.(j + 1);
+          Float.Array.set stamp j (Float.Array.get stamp (j + 1))
+        done;
+        len := n - 1
+      end
+      else strip (i + 1)
   in
-  strip [] sorted
+  strip 0;
+  (* Sorted insertion: before the first row it does not sort after. *)
+  let n = !len in
+  let rec pos i = if i >= n then i else if order_rows !nrow !srow ns.(i) (Float.Array.get stamp i) <= 0 then i else pos (i + 1) in
+  let at = pos 0 in
+  for j = n downto at + 1 do
+    ns.(j) <- ns.(j - 1);
+    Float.Array.set stamp j (Float.Array.get stamp (j - 1))
+  done;
+  ns.(at) <- !nrow;
+  Float.Array.set stamp at !srow;
+  len := n + 1
 
-let rec take n = function
-  | [] -> []
-  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+(* Materialize scratch rows [0 .. n) as an immutable map. *)
+let of_scratch sc n =
+  if n = 0 then empty
+  else begin
+    let ns = Array.sub sc.sc_ns 0 n and stamp = Float.Array.create n in
+    Float.Array.blit sc.sc_stamp 0 stamp 0 n;
+    { ns; stamp }
+  end
 
-let of_entries ~max entries =
+let load_scratch sc t =
+  let n = size t in
+  ensure sc n;
+  Array.blit t.ns 0 sc.sc_ns 0 n;
+  Float.Array.blit t.stamp 0 sc.sc_stamp 0 n;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let singleton ?(is_owner = false) ~server ~stamp () =
+  { ns = [| pack ~server ~is_owner |]; stamp = Float.Array.make 1 stamp }
+
+let of_entries ?scratch ~max entries =
   if max < 1 then invalid_arg "Node_map.of_entries: max must be >= 1";
-  let sorted = List.fold_left add_entry [] entries in
-  take max sorted
+  let sc = sc_or scratch in
+  ensure sc (List.length entries);
+  let len = ref 0 in
+  List.iter
+    (fun e -> insert_row sc len (pack ~server:e.server ~is_owner:e.is_owner) e.stamp)
+    entries;
+  of_scratch sc (min !len max)
 
-let singleton ?(is_owner = false) ~server ~stamp () = [ { server; is_owner; stamp } ]
+let truncate ~max t =
+  if max < 1 then invalid_arg "Node_map.truncate: max must be >= 1";
+  if size t <= max then t
+  else { ns = Array.sub t.ns 0 max; stamp = Float.Array.sub t.stamp 0 max }
 
 (* [t] already satisfies the sorted/deduped invariant: one insertion pass
-   suffices, no rebuild of the whole map. *)
-let add ~max t entry =
+   suffices.  (The historical error message is [of_entries]'s — kept
+   verbatim, callers match on it.) *)
+let add ?scratch ~max t entry =
   if max < 1 then invalid_arg "Node_map.of_entries: max must be >= 1";
-  take max (add_entry t entry)
+  let sc = sc_or scratch in
+  ensure sc (size t + 1);
+  let len = ref (load_scratch sc t) in
+  insert_row sc len (pack ~server:entry.server ~is_owner:entry.is_owner) entry.stamp;
+  of_scratch sc (min !len max)
 
 (* [add] with a survival guarantee: the added server's entry is never
    truncated out.  Needed for a host's own entry — the map a host
@@ -82,109 +174,199 @@ let add ~max t entry =
    first (owners pinned ahead, equal stamps broken by lower server id).
    When the entry falls past the cut, the lowest-priority kept non-owner
    is evicted in its favor; if every kept entry is an owner (only possible
-   once owners alone fill the map), the map is returned untruncated of
-   owners — owners are never displaced. *)
-let add_pinned ~max t entry =
+   once owners alone fill the map), the map keeps its owners — owners are
+   never displaced.  The pinned row lands in the last kept slot, which is
+   still its sort position relative to the surviving rows. *)
+let add_pinned ?scratch ~max t entry =
   if max < 1 then invalid_arg "Node_map.add_pinned: max must be >= 1";
-  let sorted = add_entry t entry in
-  let kept = take max sorted in
-  if List.exists (fun e -> e.server = entry.server) kept then kept
-  else begin
-    (* Refetch from the combined list: owner stickiness and stamp max may
+  let sc = sc_or scratch in
+  ensure sc (size t + 1);
+  let len = ref (load_scratch sc t) in
+  insert_row sc len (pack ~server:entry.server ~is_owner:entry.is_owner) entry.stamp;
+  let kept = min !len max in
+  let in_kept =
+    let rec go i = i < kept && (sc.sc_ns.(i) lsr 1 = entry.server || go (i + 1)) in
+    go 0
+  in
+  if (not in_kept) && not (sc.sc_ns.(kept - 1) land 1 <> 0) then begin
+    (* Refetch from the combined rows: owner stickiness and stamp max may
        have merged [entry] with an existing one. *)
-    let pinned = List.find (fun e -> e.server = entry.server) sorted in
-    let rec replace_last = function
-      | [] | [ _ ] -> [ pinned ]
-      | x :: rest -> x :: replace_last rest
-    in
-    match kept with
-    | [] -> [ pinned ]
-    | _ ->
-      let rec last = function [ e ] -> e | _ :: rest -> last rest | [] -> assert false in
-      if (last kept).is_owner then kept else replace_last kept
+    let rec pinned i = if sc.sc_ns.(i) lsr 1 = entry.server then i else pinned (i + 1) in
+    let p = pinned kept in
+    sc.sc_ns.(kept - 1) <- sc.sc_ns.(p);
+    Float.Array.set sc.sc_stamp (kept - 1) (Float.Array.get sc.sc_stamp p)
+  end;
+  of_scratch sc kept
+
+let remove t s =
+  if not (mem t s) then t
+  else begin
+    let n = size t in
+    let ns = Array.make (n - 1) 0 and stamp = Float.Array.create (n - 1) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if row_server t i <> s then begin
+        ns.(!j) <- t.ns.(i);
+        Float.Array.set stamp !j (row_stamp t i);
+        incr j
+      end
+    done;
+    if !j = 0 then empty else { ns; stamp }
   end
 
-let remove t s = List.filter (fun e -> e.server <> s) t
-
-(* Draw [want] entries uniformly without replacement from a small list. *)
-let rec draw rng pool want acc =
-  if want <= 0 then acc
-  else
-    match pool with
-    | [] -> acc
-    | _ ->
-      let i = Splitmix.int rng (List.length pool) in
-      let rec split k seen = function
-        | [] -> assert false
-        | e :: rest -> if k = 0 then (e, List.rev_append seen rest) else split (k - 1) (e :: seen) rest
-      in
-      let e, rest = split i [] pool in
-      draw rng rest (want - 1) (e :: acc)
+(* ------------------------------------------------------------------ *)
+(* Merging                                                             *)
+(* ------------------------------------------------------------------ *)
 
 (* [subsumes a b]: merging [b] into [a] cannot change [a] — every entry of
    [b] is already present with an equal-or-newer stamp and owner flag.  The
    common case on busy paths (the same maps circulate), worth a scan to
    avoid reallocating stored maps. *)
 let subsumes a b =
-  List.for_all
-    (fun eb ->
-      List.exists
-        (fun ea ->
-          ea.server = eb.server && ea.stamp >= eb.stamp && (ea.is_owner || not eb.is_owner))
-        a)
-    b
+  let na = size a and nb = size b in
+  let rec all i =
+    i >= nb
+    ||
+    let sb = row_server b i in
+    let rec found j =
+      j < na
+      && ((row_server a j = sb
+           && row_stamp a j >= row_stamp b i
+           && (row_owner a j || not (row_owner b i)))
+         || found (j + 1))
+    in
+    found 0 && all (i + 1)
+  in
+  all 0
 
-let rec drop n = function
-  | [] -> []
-  | _ :: rest as l -> if n <= 0 then l else drop (n - 1) rest
-
-let merge ~max rng a b =
+let merge ?scratch ~max rng a b =
   if max < 1 then invalid_arg "Node_map.merge: max must be >= 1";
   if (a == b || subsumes a b) && size a <= max then a
   else begin
+    let sc = sc_or scratch in
+    ensure sc (size a + size b);
     (* Both inputs are sorted and deduped (the representation invariant),
        so folding [b] into [a] yields the combined set already in sorted
-       order — owners form a prefix, the rest is newest-first — with no
-       partition/sort/sort pipeline behind it. *)
-    let all = List.fold_left add_entry a b in
-    let rec split_owners acc = function
-      | e :: rest when e.is_owner -> split_owners (e :: acc) rest
-      | rest -> (List.rev acc, rest)
+       order — owners form a prefix, the rest is newest-first. *)
+    let len = ref (load_scratch sc a) in
+    for i = 0 to size b - 1 do
+      insert_row sc len b.ns.(i) (row_stamp b i)
+    done;
+    let total = !len in
+    let owners_total =
+      let rec go i = if i < total && sc.sc_ns.(i) land 1 <> 0 then go (i + 1) else i in
+      go 0
     in
-    let owners, rest = split_owners [] all in
-    let owners = take max owners in
-    let slots = max - List.length owners in
-    if slots <= 0 then owners
+    let owners = min owners_total max in
+    let slots = max - owners in
+    if slots <= 0 then of_scratch sc owners
     else begin
       (* Keep the newest half of the remaining budget, fill the rest
-         randomly from what is left so maps decorrelate across servers. *)
-      let keep_newest = (slots + 1) / 2 in
-      let newest = take keep_newest rest in
-      let remainder = drop keep_newest rest in
-      let filled = draw rng remainder (slots - List.length newest) [] in
-      List.fold_left (fun acc e -> insert_no_dup e acc) (owners @ newest) filled
+         randomly from what is left so maps decorrelate across servers.
+         The draw is uniform without replacement over the remainder rows
+         in their sorted order — the pool is compacted by shifting, never
+         swapping, so each RNG draw indexes exactly the position the
+         historical list-based draw did. *)
+      let rest = total - owners_total in
+      let newest = min ((slots + 1) / 2) rest in
+      let rem_start = owners_total + newest in
+      let rem_len = total - rem_start in
+      let want = slots - newest in
+      let picked = ref 0 in
+      (* Clear the remainder flags unconditionally: a reused scratch keeps
+         [sc_keep] from the previous merge, and the emit pass below reads
+         every remainder row's flag even when no draw happens. *)
+      for i = rem_start to total - 1 do
+        sc.sc_keep.(i) <- false
+      done;
+      if want > 0 && rem_len > 0 then begin
+        let pool = sc.sc_pool and keep = sc.sc_keep in
+        for i = 0 to rem_len - 1 do
+          pool.(i) <- rem_start + i
+        done;
+        let plen = ref rem_len in
+        while !picked < want && !plen > 0 do
+          let i = Splitmix.int rng !plen in
+          keep.(pool.(i)) <- true;
+          for j = i to !plen - 2 do
+            pool.(j) <- pool.(j + 1)
+          done;
+          decr plen;
+          incr picked
+        done
+      end;
+      let out = owners + newest + !picked in
+      let ns = Array.make out 0 and stamp = Float.Array.create out in
+      let j = ref 0 in
+      let emit i =
+        ns.(!j) <- sc.sc_ns.(i);
+        Float.Array.set stamp !j (Float.Array.get sc.sc_stamp i);
+        incr j
+      in
+      for i = 0 to owners - 1 do
+        emit i
+      done;
+      for i = owners_total to rem_start - 1 do
+        emit i
+      done;
+      for i = rem_start to total - 1 do
+        if sc.sc_keep.(i) then emit i
+      done;
+      { ns; stamp }
     end
   end
 
-let filter t ~f = List.filter (fun e -> e.is_owner || f e) t
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
 
-(* Count-then-walk instead of filter + nth: this runs once per forwarding
-   decision, and the two intermediate lists were measurable at scale.  RNG
-   consumption is unchanged (one draw on the same eligible count, none when
-   empty), so trajectories are identical. *)
-let random_server ?exclude t rng =
-  let excluded e = match exclude with Some s -> e.server = s | None -> false in
-  let count = List.fold_left (fun n e -> if excluded e then n else n + 1) 0 t in
-  if count = 0 then None
+(* Keep entries whose server satisfies [f]; owner entries are exempt (map
+   filtering is conservative and must never orphan a node).  Counts first:
+   when nothing is pruned — the overwhelmingly common case on the routing
+   path — the input map is returned as-is, allocation-free. *)
+let filter t ~f =
+  let n = size t in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    if row_owner t i || f (row_server t i) then incr kept
+  done;
+  if !kept = n then t
+  else if !kept = 0 then empty
   else begin
-    let rec nth_eligible i = function
-      | [] -> assert false
-      | e :: rest ->
-        if excluded e then nth_eligible i rest
-        else if i = 0 then Some e.server
-        else nth_eligible (i - 1) rest
-    in
-    nth_eligible (Splitmix.int rng count) t
+    let ns = Array.make !kept 0 and stamp = Float.Array.create !kept in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if row_owner t i || f (row_server t i) then begin
+        ns.(!j) <- t.ns.(i);
+        Float.Array.set stamp !j (row_stamp t i);
+        incr j
+      end
+    done;
+    { ns; stamp }
+  end
+
+(* Count-then-walk: one draw on the eligible count, none when empty, so
+   RNG consumption matches every historical trajectory. *)
+let random_server ?exclude t rng =
+  let n = size t in
+  let excluded s = match exclude with Some x -> s = x | None -> false in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if not (excluded (row_server t i)) then incr count
+  done;
+  if !count = 0 then None
+  else begin
+    let want = ref (Splitmix.int rng !count) in
+    let found = ref (-1) in
+    let i = ref 0 in
+    while !found < 0 do
+      let s = row_server t !i in
+      if not (excluded s) then begin
+        if !want = 0 then found := s else decr want
+      end;
+      incr i
+    done;
+    Some !found
   end
 
 let pp fmt t =
@@ -192,4 +374,4 @@ let pp fmt t =
     (String.concat "; "
        (List.map
           (fun e -> Printf.sprintf "%d%s@%.2f" e.server (if e.is_owner then "*" else "") e.stamp)
-          t))
+          (entries t)))

@@ -12,21 +12,36 @@
     - {b random fill}: remaining slots are chosen at random from what is
       left, so different servers end up with decorrelated maps.
 
-    Maps are immutable values; all operations return new maps. *)
+    Maps are immutable values; all operations return new maps.  The
+    representation is a flat struct-of-arrays (packed server/owner ints,
+    unboxed stamps): operations that assemble intermediate states accept
+    an optional {!scratch} buffer so hot-path callers allocate only the
+    result map. *)
 
 type entry = { server : int; is_owner : bool; stamp : float }
 (** [stamp] is the simulation time this entry was (last) created/refreshed. *)
 
 type t
 
+type scratch
+(** Reusable workspace for {!of_entries}/{!add}/{!add_pinned}/{!merge}.
+    Single-owner mutable state: thread one per server (or per lane), never
+    share across engine lanes.  Omitting it allocates a transient one. *)
+
+val scratch : unit -> scratch
+
 val empty : t
 
 val singleton : ?is_owner:bool -> server:int -> stamp:float -> unit -> t
 
-val of_entries : max:int -> entry list -> t
+val of_entries : ?scratch:scratch -> max:int -> entry list -> t
 (** Dedup by server (newest stamp wins, owner flag is sticky) and truncate
     under the policy above (deterministically — random fill only applies to
     {!merge}). *)
+
+val truncate : max:int -> t -> t
+(** First [max] entries under the policy order; the map itself (no copy)
+    when it already fits. *)
 
 val entries : t -> entry list
 (** Owner entries first, then newest-first. *)
@@ -43,10 +58,10 @@ val mem : t -> int -> bool
 val owner : t -> int option
 (** The owner entry's server, if the map knows it. *)
 
-val add : max:int -> t -> entry -> t
+val add : ?scratch:scratch -> max:int -> t -> entry -> t
 (** Insert/refresh one entry, truncating to [max] under the policy. *)
 
-val add_pinned : max:int -> t -> entry -> t
+val add_pinned : ?scratch:scratch -> max:int -> t -> entry -> t
 (** [add], but the added server's entry is guaranteed to survive the
     truncation: if it would fall past the cut, the lowest-priority kept
     non-owner entry is evicted in its favor.  Owners are never displaced —
@@ -57,14 +72,17 @@ val add_pinned : max:int -> t -> entry -> t
 val remove : t -> int -> t
 (** Drop a server's entry (e.g. learned stale). *)
 
-val merge : max:int -> Terradir_util.Splitmix.t -> t -> t -> t
+val merge : ?scratch:scratch -> max:int -> Terradir_util.Splitmix.t -> t -> t -> t
 (** Merge two maps for the same node: owners kept, then the newest entries,
     then random fill from the remainder (§3.7 "map merging").  Call twice
-    with different [rng] draws to produce the kept-vs-propagated variants. *)
+    with different [rng] draws to produce the kept-vs-propagated variants.
+    RNG consumption is representation-independent: one draw per randomly
+    filled slot, over the remainder in policy order. *)
 
-val filter : t -> f:(entry -> bool) -> t
-(** Keep entries satisfying [f]; owner entries are exempt (map filtering is
-    conservative and must never orphan a node). *)
+val filter : t -> f:(int -> bool) -> t
+(** Keep entries whose {e server id} satisfies [f]; owner entries are
+    exempt (map filtering is conservative and must never orphan a node).
+    Returns the input map itself when nothing is pruned. *)
 
 val random_server : ?exclude:int -> t -> Terradir_util.Splitmix.t -> int option
 (** Uniform choice among entries (minus [exclude]) — replica selection. *)

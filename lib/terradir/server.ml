@@ -37,6 +37,7 @@ type t = {
   digests : Digest_store.t;
   digest_scratch_servers : int array;
   digest_scratch_blooms : Terradir_bloom.Bloom.t array;
+  map_scratch : Node_map.scratch;
   load : Load_meter.t;
   ranking : Ranking.t;
   known_loads : (server_id, float) Hashtbl.t;
@@ -74,6 +75,7 @@ let create ~id ~config ~tree ?(speed = 1.0) ?(obs = Obs.null) ~rng () =
        nothing per routing step. *)
     digest_scratch_servers = Array.make max_digests_consulted 0;
     digest_scratch_blooms = Array.make max_digests_consulted (Digest_store.local digests);
+    map_scratch = Node_map.scratch ();
     load = Load_meter.create ~window:config.Config.load_window;
     ranking = Ranking.create ();
     known_loads = Hashtbl.create 32;
@@ -106,7 +108,13 @@ let owned_nodes t = nodes_of_kind t Owned
 
 let replica_nodes t = nodes_of_kind t Replicated
 
-let rebuild_digest t = Digest_store.rebuild_local t.digests ~hosted:(hosted_nodes t)
+(* The hash-table walk (vs the sorted [hosted_nodes] list) yields the same
+   filter without the sort + list allocation: Bloom bit-sets are
+   iteration-order independent. *)
+let rebuild_digest t =
+  Digest_store.rebuild_local_from t.digests ~count:(Hashtbl.length t.hosted)
+    (* lint: ordered Bloom bit-sets are insertion-order independent *)
+    ~iter:(fun add -> Hashtbl.iter (fun node _ -> add node) t.hosted)
 
 let neighbor_map t node =
   Option.map (fun r -> r.n_map) (Hashtbl.find_opt t.neighbor_maps node)
@@ -127,7 +135,8 @@ let ref_neighbor t node map =
   match Hashtbl.find_opt t.neighbor_maps node with
   | Some r ->
     r.refs <- r.refs + 1;
-    if not (Node_map.is_empty map) then r.n_map <- Node_map.merge ~max:(r_map t) t.rng r.n_map map
+    if not (Node_map.is_empty map) then
+      r.n_map <- Node_map.merge ~scratch:t.map_scratch ~max:(r_map t) t.rng r.n_map map
   | None -> Hashtbl.add t.neighbor_maps node { n_map = map; refs = 1 }
 
 let unref_neighbor t node =
@@ -179,7 +188,7 @@ let add_owned t node ~owner_of ~now =
 let ensure_self t h ~now =
   if not (Node_map.mem h.h_map t.id) then
     h.h_map <-
-      Node_map.add_pinned ~max:(r_map t) h.h_map
+      Node_map.add_pinned ~scratch:t.map_scratch ~max:(r_map t) h.h_map
         { Node_map.server = t.id; is_owner = (h.h_kind = Owned); stamp = now }
 
 let merge_into_known_map t node map ~now =
@@ -187,11 +196,12 @@ let merge_into_known_map t node map ~now =
   else
     match find_hosted t node with
     | Some h ->
-      h.h_map <- Node_map.merge ~max:(r_map t) t.rng h.h_map map;
+      h.h_map <- Node_map.merge ~scratch:t.map_scratch ~max:(r_map t) t.rng h.h_map map;
       ensure_self t h ~now
     | None -> (
       match Hashtbl.find_opt t.neighbor_maps node with
-      | Some r -> r.n_map <- Node_map.merge ~max:(r_map t) t.rng r.n_map map
+      | Some r ->
+        r.n_map <- Node_map.merge ~scratch:t.map_scratch ~max:(r_map t) t.rng r.n_map map
       | None -> if t.config.Config.features.Config.caching then Cache.insert t.cache ~node map)
 
 let touch_node t node ~now =
@@ -281,7 +291,7 @@ let install_owned t payload ~now =
   | Some _ -> invalid_arg "Server.install_owned: already owned"
   | None -> ());
   let map =
-    Node_map.add_pinned ~max:(r_map t) payload.rp_map
+    Node_map.add_pinned ~scratch:t.map_scratch ~max:(r_map t) payload.rp_map
       { Node_map.server = t.id; is_owner = true; stamp = now }
   in
   install_hosted t node Owned ~map ~meta_version:payload.rp_meta_version
@@ -293,13 +303,14 @@ let install_replica t payload ~now =
   match find_hosted t node with
   | Some h ->
     (* Already hosted: fold in the newer view (soft-state merge). *)
-    h.h_map <- Node_map.merge ~max:(r_map t) t.rng h.h_map payload.rp_map;
+    h.h_map <- Node_map.merge ~scratch:t.map_scratch ~max:(r_map t) t.rng h.h_map payload.rp_map;
     ensure_self t h ~now;
     if payload.rp_meta_version > h.h_meta_version then h.h_meta_version <- payload.rp_meta_version;
     List.iter
       (fun (nb, map) ->
         match Hashtbl.find_opt t.neighbor_maps nb with
-        | Some r -> r.n_map <- Node_map.merge ~max:(r_map t) t.rng r.n_map map
+        | Some r ->
+          r.n_map <- Node_map.merge ~scratch:t.map_scratch ~max:(r_map t) t.rng r.n_map map
         | None -> ())
       payload.rp_context;
     `Merged
@@ -329,7 +340,7 @@ let install_replica t payload ~now =
         (* Pinned: a full same-stamp rp_map must not truncate the new
            host's own entry out of the map it will advertise. *)
         let map =
-          Node_map.add_pinned ~max:(r_map t) payload.rp_map
+          Node_map.add_pinned ~scratch:t.map_scratch ~max:(r_map t) payload.rp_map
             { Node_map.server = t.id; is_owner = false; stamp = now }
         in
         install_hosted t node Replicated ~map ~meta_version:payload.rp_meta_version
@@ -358,8 +369,8 @@ let prune_map_with_digests t node map =
   if not t.config.Config.features.Config.digests then map
   else begin
     let pruned =
-      Node_map.filter map ~f:(fun e ->
-          match Digest_store.test_remote t.digests ~server:e.Node_map.server ~node with
+      Node_map.filter map ~f:(fun server ->
+          match Digest_store.test_remote t.digests ~server ~node with
           | Some false -> false (* digest denial is authoritative: no false negatives *)
           | Some true | None -> true)
     in
@@ -414,7 +425,7 @@ let record_new_replica t node target ~now =
   | None -> ()
   | Some h ->
     h.h_map <-
-      Node_map.add ~max:(r_map t) h.h_map
+      Node_map.add ~scratch:t.map_scratch ~max:(r_map t) h.h_map
         { Node_map.server = target; is_owner = false; stamp = now };
     ensure_self t h ~now;
     if Obs.counters_on t.obs then

@@ -62,6 +62,9 @@ type t = {
       (** scratch for {!Routing}'s digest consultation — length
           {!max_digests_consulted}, reused every routing step *)
   digest_scratch_blooms : Terradir_bloom.Bloom.t array;
+  map_scratch : Node_map.scratch;
+      (** reusable workspace for every map merge/add this server performs —
+          single-owner (the server's engine lane), never shared *)
   load : Load_meter.t;
   ranking : Ranking.t;
   known_loads : (server_id, float) Hashtbl.t;

@@ -28,22 +28,30 @@ and drop_reason =
 
 (** In-flight lookup query state.  [target] is the node on whose behalf the
     query was last forwarded — the receiving server is expected (but, with
-    soft state, not guaranteed) to host it. *)
+    soft state, not guaranteed) to host it.
+
+    Every field is mutable because the record is {e pooled}: the cluster
+    recycles retired records through per-lane free lists, so steady-state
+    traffic allocates no query records.  The path rides in a fixed ring
+    ([path_nodes]/[path_maps], newest at [path_head]) instead of a list —
+    appending overwrites the oldest slot, reproducing the historical
+    newest-first truncation without consing. *)
 and query = {
-  qid : int;
-  src_server : server_id;
-  dst : node_id;
-  attempt : int;
+  mutable qid : int;
+  mutable src_server : server_id;
+  mutable dst : node_id;
+  mutable attempt : int;
       (** which transmission of the request this is (0 = original); the
           issuer discards outcomes of superseded attempts *)
-  born : float;  (** injection time of the {e original} attempt *)
+  mutable born : float;  (** injection time of the {e original} attempt *)
   mutable hops : int;  (** network hops taken so far *)
   mutable target : node_id;
-  mutable path : (node_id * Node_map.t) list;
-      (** Path propagation (§2.4): the route so far as (node, map) pairs,
-          newest first, capped at [path_cap]. *)
-  mutable path_len : int;
-      (** cached [List.length path], so the per-hop cap check is O(1) *)
+  path_nodes : int array;  (** ring of path node ids; length [path_store] *)
+  path_maps : Node_map.t array;
+      (** Path propagation (§2.4): the route so far as (node, map) slots
+          parallel to [path_nodes], capped at [path_cap] in flight. *)
+  mutable path_head : int;  (** ring index of the newest path entry *)
+  mutable path_len : int;  (** live entries, newest-first from [path_head] *)
   mutable shortcut_hops : int;  (** hops chosen via a digest shortcut *)
   mutable best_dist : int;
       (** closest namespace distance to [dst] this query has ever reached;
@@ -61,6 +69,56 @@ and query = {
 
 let path_cap = 32
 (** Bound on propagated path length; real deployments cap piggyback size. *)
+
+let path_store = path_cap + 1
+(* One extra slot: resolution appends the destination's own entry without
+   truncating (the historical list did the same), so the endpoint absorb
+   can see path_cap + 1 entries. *)
+
+let path_reset q =
+  q.path_head <- 0;
+  q.path_len <- 0
+
+let path_append q node map =
+  let h = q.path_head + 1 in
+  let h = if h = path_store then 0 else h in
+  q.path_head <- h;
+  q.path_nodes.(h) <- node;
+  q.path_maps.(h) <- map;
+  if q.path_len < path_store then q.path_len <- q.path_len + 1
+
+let path_truncate q = if q.path_len > path_cap then q.path_len <- path_cap
+
+let path_iter q ~f =
+  for i = 0 to q.path_len - 1 do
+    let j = q.path_head - i in
+    let j = if j < 0 then j + path_store else j in
+    f q.path_nodes.(j) q.path_maps.(j)
+  done
+
+let path_scrub q =
+  Array.fill q.path_maps 0 path_store Node_map.empty;
+  path_reset q
+
+let fresh_query () =
+  {
+    qid = 0;
+    src_server = 0;
+    dst = 0;
+    attempt = 0;
+    born = 0.0;
+    hops = 0;
+    target = 0;
+    path_nodes = Array.make path_store 0;
+    path_maps = Array.make path_store Node_map.empty;
+    path_head = 0;
+    path_len = 0;
+    shortcut_hops = 0;
+    best_dist = max_int;
+    stale_forwards = 0;
+    result_map = Node_map.empty;
+    result_meta = 0;
+  }
 
 (** State shipped when a node is replicated: exactly the "Replicated" row of
     Table 1 — name (id), meta-data (version), map, and routing context. *)
@@ -85,14 +143,20 @@ type payload =
 
 (** Every message piggybacks the sender's load and digest version; the full
     digest rides along when the sender believes the receiver's copy is
-    stale (§6: in-band dissemination only). *)
+    stale (§6: in-band dissemination only).  Mutable for the same reason as
+    [query]: messages are pooled, built only for deliveries the network
+    actually makes. *)
 type message = {
-  msg_from : server_id;
-  msg_load : float;
-  msg_digest_version : int;
-  msg_digest : Terradir_bloom.Bloom.t option;
-  msg_payload : payload;
+  mutable msg_from : server_id;
+  mutable msg_load : float;
+  mutable msg_digest_version : int;
+  mutable msg_digest : Terradir_bloom.Bloom.t option;
+  mutable msg_payload : payload;
 }
+
+let null_payload = Data_reply { fetch_id = -1; node = -1 }
+(* Scrub value for pooled messages: an id no pending table ever contains,
+   so even a bug that processed it would no-op. *)
 
 let is_query_class = function
   | Query _ | Data_request _ -> true

@@ -29,22 +29,30 @@ and drop_reason =
 
 (** In-flight lookup query state.  [target] is the node on whose behalf the
     query was last forwarded — the receiving server is expected (but, with
-    soft state, not guaranteed) to host it. *)
+    soft state, not guaranteed) to host it.
+
+    Every field is mutable because the record is {e pooled}: the cluster
+    recycles retired records through per-lane free lists, so steady-state
+    traffic allocates no query records.  The path rides in a fixed ring
+    ([path_nodes]/[path_maps], newest at [path_head]) instead of a list —
+    appending overwrites the oldest slot, reproducing the historical
+    newest-first truncation without consing. *)
 and query = {
-  qid : int;
-  src_server : server_id;
-  dst : node_id;
-  attempt : int;
+  mutable qid : int;
+  mutable src_server : server_id;
+  mutable dst : node_id;
+  mutable attempt : int;
       (** which transmission of the request this is (0 = original); the
           issuer discards outcomes of superseded attempts *)
-  born : float;  (** injection time of the {e original} attempt *)
+  mutable born : float;  (** injection time of the {e original} attempt *)
   mutable hops : int;  (** network hops taken so far *)
   mutable target : node_id;
-  mutable path : (node_id * Node_map.t) list;
-      (** Path propagation (§2.4): the route so far as (node, map) pairs,
-          newest first, capped at [path_cap]. *)
-  mutable path_len : int;
-      (** cached [List.length path], so the per-hop cap check is O(1) *)
+  path_nodes : int array;  (** ring of path node ids; length [path_store] *)
+  path_maps : Node_map.t array;
+      (** Path propagation (§2.4): the route so far as (node, map) slots
+          parallel to [path_nodes], capped at [path_cap] in flight. *)
+  mutable path_head : int;  (** ring index of the newest path entry *)
+  mutable path_len : int;  (** live entries, newest-first from [path_head] *)
   mutable shortcut_hops : int;  (** hops chosen via a digest shortcut *)
   mutable best_dist : int;
       (** closest namespace distance to [dst] this query has ever reached;
@@ -62,6 +70,31 @@ and query = {
 
 val path_cap : int
 (** Bound on propagated path length; real deployments cap piggyback size. *)
+
+val path_store : int
+(** Ring capacity, [path_cap + 1]: resolution appends the destination's
+    entry without truncating, exactly as the historical list did. *)
+
+val path_reset : query -> unit
+(** Empty the path (head and length only; slots keep stale references
+    until overwritten or {!path_scrub}bed). *)
+
+val path_append : query -> node_id -> Node_map.t -> unit
+(** Push a newest entry, overwriting the oldest once the ring is full. *)
+
+val path_truncate : query -> unit
+(** Drop oldest entries beyond [path_cap] (the in-flight piggyback bound). *)
+
+val path_iter : query -> f:(node_id -> Node_map.t -> unit) -> unit
+(** Visit live entries newest-first — the historical list order. *)
+
+val path_scrub : query -> unit
+(** {!path_reset} plus clearing every map slot to [Node_map.empty], so a
+    pooled record retains no maps across reuse. *)
+
+val fresh_query : unit -> query
+(** A blank record with its path ring allocated — the pool's constructor;
+    every live field is overwritten by the cluster's recycler. *)
 
 (** State shipped when a node is replicated: exactly the "Replicated" row of
     Table 1 — name (id), meta-data (version), map, and routing context. *)
@@ -86,13 +119,18 @@ type payload =
 
 (** Every message piggybacks the sender's load and digest version; the full
     digest rides along when the sender believes the receiver's copy is
-    stale (§6: in-band dissemination only). *)
+    stale (§6: in-band dissemination only).  Mutable for the same reason as
+    [query]: messages are pooled, built only for deliveries the network
+    actually makes. *)
 type message = {
-  msg_from : server_id;
-  msg_load : float;
-  msg_digest_version : int;
-  msg_digest : Terradir_bloom.Bloom.t option;
-  msg_payload : payload;
+  mutable msg_from : server_id;
+  mutable msg_load : float;
+  mutable msg_digest_version : int;
+  mutable msg_digest : Terradir_bloom.Bloom.t option;
+  mutable msg_payload : payload;
 }
+
+val null_payload : payload
+(** Scrub value for pooled messages — ids no pending table ever contains. *)
 
 val is_query_class : payload -> bool

@@ -2,8 +2,10 @@
 
     The TerraDir cache (§2.4 of the paper) stores node → map pointers with
     LRU replacement; an entry is "touched" whenever used in routing.  The
-    implementation is a hash table over an intrusive doubly-linked recency
-    list: all operations are O(1). *)
+    implementation is flat: entries live in preallocated parallel arrays
+    with the recency list as index links and an open-addressing int index
+    — all operations are O(1) and allocation-free after the first
+    insertion. *)
 
 type 'a t
 

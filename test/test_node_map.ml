@@ -85,7 +85,7 @@ let test_merge_combines_fresh_info () =
 
 let test_filter_owner_exempt () =
   let m = Node_map.of_entries ~max:4 [ entry ~owner:true 1 1.0; entry 2 2.0; entry 3 3.0 ] in
-  let m' = Node_map.filter m ~f:(fun e -> e.Node_map.server <> 2) in
+  let m' = Node_map.filter m ~f:(fun server -> server <> 2) in
   Alcotest.(check (list int)) "2 pruned" [ 1; 3 ] (servers_of m');
   let m'' = Node_map.filter m ~f:(fun _ -> false) in
   Alcotest.(check (list int)) "owner survives filter-all" [ 1 ] (servers_of m'')

@@ -98,7 +98,18 @@ let test_outbox_bypass () =
     "let sneak lane = Shard.enqueue lane ~key:0.0 ~tie:0 ~tag:0 (fun () -> ())";
   check "suppression silences it" []
     "(* race: outbox-bypass test double *)\n\
-     let sneak lane = Shard.enqueue lane ~key:0.0 ~tie:0 ~tag:0 (fun () -> ())"
+     let sneak lane = Shard.enqueue lane ~key:0.0 ~tie:0 ~tag:0 (fun () -> ())";
+  (* The pooled-record discipline (DESIGN §16): free lists are per-lane
+     fields on the cluster, never module-level.  A module-level pool a lane
+     recycles into, combined with a direct cross-lane [Shard.enqueue] to
+     hand a recycled record over, fires both rules. *)
+  check "shared message pool recycled across lanes behind the outbox"
+    [ "bare-shared-mutable"; "outbox-bypass" ]
+    "let msg_pool = Queue.create ()\n\
+     let recycle m = Queue.push m msg_pool\n\
+     let reinject lane = Shard.enqueue lane ~key:0.0 ~tie:0 ~tag:0 (fun () -> Queue.pop \
+     msg_pool)\n\
+     let pump e = Engine.schedule e ~delay:1.0 (fun () -> recycle 1)"
 
 (* The interprocedural part: a non-exported helper whose only references
    sit inside [Mutex.protect lock (fun () -> ...)] closures inherits the

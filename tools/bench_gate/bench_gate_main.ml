@@ -76,20 +76,22 @@ let read_micro path json =
       entries
   | _ -> die "%s: no micro_ns_per_run array (schema v2 expected)" path
 
-(* [(id, events_per_sec)] from the figures array.  Figures without an
-   events_per_sec number (none today) are skipped rather than fatal: the
-   array also carries wall_s/events_executed, and the gate only speaks
-   throughput. *)
-let read_figures path json =
+(* [(id, value)] of one numeric [field] from the figures array.  Figures
+   without the field are skipped rather than fatal: the array carries
+   several numbers per entry, and each gate section reads only its own
+   (older baselines may predate a field entirely). *)
+let read_figure_field field path json =
   match Json.member "figures" json with
   | Some (Json.Arr entries) ->
     List.filter_map
       (fun e ->
-        match (Json.member "id" e, Json.member "events_per_sec" e) with
-        | Some (Json.Str id), Some (Json.Num eps) -> Some (id, eps)
+        match (Json.member "id" e, Json.member field e) with
+        | Some (Json.Str id), Some (Json.Num v) -> Some (id, v)
         | _ -> None)
       entries
   | _ -> die "%s: no figures array (schema v2 expected)" path
+
+let read_figures = read_figure_field "events_per_sec"
 
 (* Shared gating pass over one section of [(name, baseline, current, ratio)]
    cells, ratio oriented so > 1 means slower.  Prints every cell, returns
@@ -114,6 +116,43 @@ let gate_section ~label ~unit ~tolerance ~absolute cells =
         (if regressed then "REGRESSION" else "ok");
       if regressed then Some name else None)
     cells
+
+(* GC-pressure gate: words allocated per engine event, per figure.  Unlike
+   ns/run and events/sec, allocation counts are machine-independent (the
+   trajectory is deterministic), so this section always gates ABSOLUTE —
+   no geomean normalization — and a cell regresses only when it is both
+   >tolerance worse AND at least one whole word/event worse (near-zero
+   baselines would otherwise turn measurement jitter into failures).
+   Figures absent from the baseline, or with a zero baseline, are skipped:
+   nothing to regress against. *)
+let gate_words_section ~label ~tolerance cells =
+  if cells = [] then begin
+    Printf.printf "%s: no figures shared with baseline, skipping\n" label;
+    []
+  end
+  else begin
+    Printf.printf "%s (words/event, absolute):\n" label;
+    List.filter_map
+      (fun (name, b, c) ->
+        let ratio = c /. b in
+        let regressed = ratio > 1.0 +. tolerance && c -. b > 1.0 in
+        Printf.printf "  %-26s %12.2f -> %12.2f words/event  ratio %.3f  %s\n" name b c ratio
+          (if regressed then "REGRESSION" else "ok");
+        if regressed then Some name else None)
+      cells
+  end
+
+let words_cells ~field ~baseline_file ~baseline_json ~current_file ~current_json =
+  let b = read_figure_field field baseline_file baseline_json
+  and c = read_figure_field field current_file current_json in
+  List.filter_map
+    (fun id ->
+      match (List.assoc_opt id b, List.assoc_opt id c) with
+      | Some bv, Some cv when bv > 0.0 -> Some (id, bv, cv)
+      | Some bv, None when bv > 0.0 ->
+        die "%s: tracked figure %s missing %s from current results" current_file id field
+      | _ -> None (* absent or zero in the baseline: nothing to regress against *))
+    tracked_figures
 
 let () =
   let tolerance = ref 0.10 and absolute = ref false and files = ref [] in
@@ -189,7 +228,19 @@ let () =
       gate_section ~label:"figure throughput" ~unit:"events/s" ~tolerance:!tolerance
         ~absolute:!absolute figure_cells
   in
-  let regressions = micro_regressions @ figure_regressions in
+  let minor_regressions =
+    gate_words_section ~label:"figure GC pressure (minor)" ~tolerance:!tolerance
+      (words_cells ~field:"minor_words_per_event" ~baseline_file ~baseline_json
+         ~current_file ~current_json)
+  in
+  let promoted_regressions =
+    gate_words_section ~label:"figure GC pressure (promoted)" ~tolerance:!tolerance
+      (words_cells ~field:"promoted_words_per_event" ~baseline_file ~baseline_json
+         ~current_file ~current_json)
+  in
+  let regressions =
+    micro_regressions @ figure_regressions @ minor_regressions @ promoted_regressions
+  in
   if regressions <> [] then begin
     Printf.eprintf "bench_gate: %d tracked bench(es)/figure(s) slowed down more than %.0f%%: %s\n"
       (List.length regressions)

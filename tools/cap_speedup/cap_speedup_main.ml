@@ -2,7 +2,7 @@
    (bench/capacity.exe output) and fail unless the second ran at least
    [--min-speedup] times the first's events_per_sec.
 
-   Usage: cap_speedup_main [--min-speedup X] BASELINE.json PARALLEL.json
+   Usage: cap_speedup_main [--min-speedup X] [--max-rss-kb N] BASELINE.json PARALLEL.json
 
    CI runs the capacity scenario once with 1 engine domain and once with 4,
    then holds the pair to the scaling floor.  The check also re-asserts the
@@ -11,8 +11,13 @@
    must be identical — a speedup bought by diverging trajectories is a bug,
    not a result.
 
-   Exit status: 0 ok, 1 speedup below floor or trajectories diverged,
-   2 usage/parse error. *)
+   [--max-rss-kb N] additionally holds BOTH reports' peak_rss_kb under the
+   ceiling — the memory-footprint gate the flat-store/pooling work is held
+   to.  A null peak_rss_kb (non-Linux host) skips the check loudly rather
+   than passing silently.
+
+   Exit status: 0 ok, 1 speedup below floor, trajectories diverged, or RSS
+   over the ceiling, 2 usage/parse error. *)
 
 module Json = Terradir_trace_check.Json
 
@@ -41,8 +46,16 @@ let num path cap field =
   | Some (Json.Num n) -> n
   | _ -> die "%s: capacity field %s missing or not a number" path field
 
+(* [Some kb] when the report carries a number, [None] on JSON null (the
+   bench writes null where /proc/self/status is unavailable). *)
+let rss_kb path cap =
+  match Json.member "peak_rss_kb" cap with
+  | Some (Json.Num n) -> Some (int_of_float n)
+  | Some Json.Null -> None
+  | _ -> die "%s: capacity field peak_rss_kb missing" path
+
 let () =
-  let min_speedup = ref 2.0 and files = ref [] in
+  let min_speedup = ref 2.0 and max_rss_kb = ref None and files = ref [] in
   let rec parse = function
     | [] -> ()
     | "--min-speedup" :: x :: rest -> (
@@ -52,6 +65,13 @@ let () =
         parse rest
       | _ -> die "--min-speedup needs a positive number")
     | "--min-speedup" :: [] -> die "--min-speedup needs an argument"
+    | "--max-rss-kb" :: x :: rest -> (
+      match int_of_string_opt x with
+      | Some n when n > 0 ->
+        max_rss_kb := Some n;
+        parse rest
+      | _ -> die "--max-rss-kb needs a positive integer")
+    | "--max-rss-kb" :: [] -> die "--max-rss-kb needs an argument"
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> die "unknown option %s" arg
     | path :: rest ->
       files := path :: !files;
@@ -61,7 +81,8 @@ let () =
   let base_file, par_file =
     match List.rev !files with
     | [ b; p ] -> (b, p)
-    | _ -> die "usage: cap_speedup_main [--min-speedup X] BASELINE.json PARALLEL.json"
+    | _ ->
+      die "usage: cap_speedup_main [--min-speedup X] [--max-rss-kb N] BASELINE.json PARALLEL.json"
   in
   let base = read_capacity base_file and par = read_capacity par_file in
   let divergent =
@@ -84,6 +105,22 @@ let () =
     (num base_file base "engine_domains")
     (num par_file par "engine_domains")
     !min_speedup;
+  let rss_over =
+    match !max_rss_kb with
+    | None -> []
+    | Some ceiling ->
+      List.filter_map
+        (fun (file, cap) ->
+          match rss_kb file cap with
+          | None ->
+            Printf.printf "cap_speedup: %s: peak_rss_kb is null (non-Linux host), not checked\n"
+              file;
+            None
+          | Some kb ->
+            Printf.printf "cap_speedup: %s: peak RSS %d kB (ceiling %d kB)\n" file kb ceiling;
+            if kb > ceiling then Some (file, kb) else None)
+        [ (base_file, base); (par_file, par) ]
+  in
   if divergent <> [] then begin
     prerr_endline "cap_speedup: FAIL — simulation trajectories diverged across domain counts";
     exit 1
@@ -93,4 +130,10 @@ let () =
       !min_speedup;
     exit 1
   end;
+  (match (rss_over, !max_rss_kb) with
+  | (file, kb) :: _, Some ceiling ->
+    Printf.eprintf "cap_speedup: FAIL — %s peak RSS %d kB over the %d kB ceiling\n" file kb
+      ceiling;
+    exit 1
+  | _ -> ());
   print_endline "cap_speedup: ok"

@@ -56,3 +56,17 @@ let rearm engine = Engine.schedule engine ~delay:1.0 touch
 
 (* race: outbox-bypass nothing on the next line bypasses anything *)
 let idle () = ()
+
+(* --- pooled-message cross-lane misuse: a recycled message from a shared
+   free list is pushed straight onto another lane's queue, skipping the
+   window outbox (the only legal cross-lane channel for pooled records,
+   whose ownership migrates with the traffic) --- *)
+
+let msg_pool = Queue.create ()
+
+let recycle msg = Queue.push msg msg_pool
+
+let reinject_stolen lane =
+  Shard.enqueue lane ~key:0.0 ~tie:0 ~tag:0 (fun () -> Queue.pop msg_pool)
+
+let pump engine = Engine.schedule engine ~delay:1.0 (fun () -> recycle 1)
